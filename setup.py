@@ -1,0 +1,16 @@
+"""Setup shim so that editable installs work offline (no wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of SLaDe: A Portable Small Language Model Decompiler "
+        "for Optimized Assembly (CGO 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

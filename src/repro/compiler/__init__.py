@@ -1,0 +1,20 @@
+"""The "GCC" substrate: a Mini-C compiler targeting two assembly dialects.
+
+The reproduction needs a deterministic producer of (C, assembly) pairs at
+two optimisation levels and for two ISAs — the role GCC plays in the paper.
+This package provides exactly that:
+
+* :mod:`repro.compiler.ir` — a three-address intermediate representation.
+* :mod:`repro.compiler.lowering` — AST → IR lowering.
+* :mod:`repro.compiler.opt` — the -O3 pipeline (AST-level loop unrolling and
+  constant folding, IR-level copy propagation / constant folding / dead code
+  elimination / strength reduction).
+* :mod:`repro.compiler.regalloc` — linear-scan register allocation.
+* :mod:`repro.compiler.x86` / :mod:`repro.compiler.arm` — backends emitting
+  an x86-64-style (AT&T syntax) and an AArch64-style assembly dialect.
+* :mod:`repro.compiler.driver` — the ``compile_function`` entry point.
+"""
+
+from repro.compiler.driver import CompileError, CompiledFunction, compile_function, compile_program
+
+__all__ = ["compile_function", "compile_program", "CompiledFunction", "CompileError"]

@@ -1,0 +1,379 @@
+"""Three-address intermediate representation used by the Mini-C compiler.
+
+An :class:`IRFunction` is a flat list of instructions over an unbounded set
+of virtual registers (:class:`VReg`).  Labels are instructions themselves, so
+the representation is easy to transform by simple list rewriting; the
+optimiser reconstructs basic-block structure where it needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register.  ``is_float`` selects the FP register class."""
+
+    id: int
+    is_float: bool = False
+
+    def __str__(self) -> str:
+        prefix = "f" if self.is_float else "v"
+        return f"%{prefix}{self.id}"
+
+
+#: An operand is either a virtual register or an immediate constant.
+Operand = Union[VReg, int, float]
+
+
+@dataclass
+class StackSlot:
+    """A named slot in the function's stack frame."""
+
+    name: str
+    size: int
+    offset: int = 0  # assigned by the backend
+
+
+class IRInstr:
+    """Base class for IR instructions."""
+
+    def defs(self) -> List[VReg]:
+        """Registers written by this instruction."""
+        return []
+
+    def uses(self) -> List[VReg]:
+        """Registers read by this instruction."""
+        return []
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        """Substitute operands according to ``mapping`` (used by copy prop)."""
+
+
+def _as_uses(*operands: Operand) -> List[VReg]:
+    return [op for op in operands if isinstance(op, VReg)]
+
+
+@dataclass
+class IRConst(IRInstr):
+    dst: VReg
+    value: Union[int, float]
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = const {self.value}"
+
+
+@dataclass
+class IRMove(IRInstr):
+    dst: VReg
+    src: Operand
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.src)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.src, VReg) and self.src in mapping:
+            self.src = mapping[self.src]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+#: Arithmetic/bitwise operation names used by IRBinOp.
+BIN_OPS = ("add", "sub", "mul", "div", "mod", "shl", "shr", "and", "or", "xor")
+#: Comparison operation names used by IRCmp.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+@dataclass
+class IRBinOp(IRInstr):
+    op: str
+    dst: VReg
+    left: Operand
+    right: Operand
+    is_float: bool = False
+    unsigned: bool = False
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.left, self.right)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.left, VReg) and self.left in mapping:
+            self.left = mapping[self.left]
+        if isinstance(self.right, VReg) and self.right in mapping:
+            self.right = mapping[self.right]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.left}, {self.right}"
+
+
+@dataclass
+class IRCmp(IRInstr):
+    op: str
+    dst: VReg
+    left: Operand
+    right: Operand
+    is_float: bool = False
+    unsigned: bool = False
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.left, self.right)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.left, VReg) and self.left in mapping:
+            self.left = mapping[self.left]
+        if isinstance(self.right, VReg) and self.right in mapping:
+            self.right = mapping[self.right]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = cmp.{self.op} {self.left}, {self.right}"
+
+
+@dataclass
+class IRUnary(IRInstr):
+    """``neg`` or ``not`` (bitwise complement)."""
+
+    op: str
+    dst: VReg
+    src: Operand
+    is_float: bool = False
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.src)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.src, VReg) and self.src in mapping:
+            self.src = mapping[self.src]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+@dataclass
+class IRCast(IRInstr):
+    """Conversions: ``i2f``, ``f2i``, ``f2f`` (float<->double is a no-op here),
+    and integer width changes ``trunc``/``sext``/``zext`` (semantically applied
+    on store/load; kept for readability of the IR)."""
+
+    kind: str
+    dst: VReg
+    src: Operand
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.src)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.src, VReg) and self.src in mapping:
+            self.src = mapping[self.src]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.kind} {self.src}"
+
+
+@dataclass
+class IRLoad(IRInstr):
+    dst: VReg
+    addr: VReg
+    offset: int = 0
+    size: int = 8
+    signed: bool = True
+    is_float: bool = False
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def uses(self) -> List[VReg]:
+        return [self.addr]
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if self.addr in mapping and isinstance(mapping[self.addr], VReg):
+            self.addr = mapping[self.addr]  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = load{self.size} [{self.addr}+{self.offset}]"
+
+
+@dataclass
+class IRStore(IRInstr):
+    src: Operand
+    addr: VReg
+    offset: int = 0
+    size: int = 8
+    is_float: bool = False
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.src, self.addr)
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.src, VReg) and self.src in mapping:
+            self.src = mapping[self.src]
+        if self.addr in mapping and isinstance(mapping[self.addr], VReg):
+            self.addr = mapping[self.addr]  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"store{self.size} [{self.addr}+{self.offset}], {self.src}"
+
+
+@dataclass
+class IRFrameAddr(IRInstr):
+    """dst = address of a stack slot."""
+
+    dst: VReg
+    slot: str
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = frameaddr {self.slot}"
+
+
+@dataclass
+class IRGlobalAddr(IRInstr):
+    """dst = address of a global symbol."""
+
+    dst: VReg
+    symbol: str
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = globaladdr {self.symbol}"
+
+
+@dataclass
+class IRCall(IRInstr):
+    dst: Optional[VReg]
+    name: str
+    args: List[Operand] = field(default_factory=list)
+    float_ret: bool = False
+
+    def defs(self) -> List[VReg]:
+        return [self.dst] if self.dst is not None else []
+
+    def uses(self) -> List[VReg]:
+        return [a for a in self.args if isinstance(a, VReg)]
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        self.args = [mapping.get(a, a) if isinstance(a, VReg) else a for a in self.args]
+
+    def __str__(self) -> str:
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"{prefix}call {self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass
+class IRLabel(IRInstr):
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass
+class IRJump(IRInstr):
+    target: str
+
+    def __str__(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass
+class IRBranch(IRInstr):
+    """Conditional branch: if cond != 0 goto ``true_target`` else fall to
+    ``false_target`` (the backend emits an explicit jump when needed)."""
+
+    cond: VReg
+    true_target: str
+    false_target: str
+
+    def uses(self) -> List[VReg]:
+        return [self.cond]
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if self.cond in mapping and isinstance(mapping[self.cond], VReg):
+            self.cond = mapping[self.cond]  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"br {self.cond} ? {self.true_target} : {self.false_target}"
+
+
+@dataclass
+class IRRet(IRInstr):
+    value: Optional[Operand] = None
+    is_float: bool = False
+
+    def uses(self) -> List[VReg]:
+        return _as_uses(self.value) if self.value is not None else []
+
+    def replace_uses(self, mapping: Dict[VReg, Operand]) -> None:
+        if isinstance(self.value, VReg) and self.value in mapping:
+            self.value = mapping[self.value]
+
+    def __str__(self) -> str:
+        return f"ret {self.value if self.value is not None else ''}".rstrip()
+
+
+@dataclass
+class IRFunction:
+    """A lowered function: parameters, frame slots and a flat instruction list."""
+
+    name: str
+    params: List[VReg] = field(default_factory=list)
+    param_names: List[str] = field(default_factory=list)
+    instrs: List[IRInstr] = field(default_factory=list)
+    slots: Dict[str, StackSlot] = field(default_factory=dict)
+    returns_float: bool = False
+    next_vreg: int = 0
+    next_label: int = 0
+
+    def new_vreg(self, is_float: bool = False) -> VReg:
+        reg = VReg(self.next_vreg, is_float)
+        self.next_vreg += 1
+        return reg
+
+    def new_label(self, hint: str = "L") -> str:
+        label = f".{hint}{self.next_label}"
+        self.next_label += 1
+        return label
+
+    def add_slot(self, name: str, size: int) -> StackSlot:
+        slot = StackSlot(name, size)
+        self.slots[name] = slot
+        return slot
+
+    def emit(self, instr: IRInstr) -> IRInstr:
+        self.instrs.append(instr)
+        return instr
+
+    def __str__(self) -> str:
+        lines = [f"function {self.name}({', '.join(map(str, self.params))})"]
+        for slot in self.slots.values():
+            lines.append(f"  slot {slot.name}: {slot.size} bytes")
+        for instr in self.instrs:
+            if isinstance(instr, IRLabel):
+                lines.append(str(instr))
+            else:
+                lines.append("  " + str(instr))
+        return "\n".join(lines)

@@ -1,0 +1,485 @@
+"""Optimisation pipeline for the Mini-C compiler (-O3).
+
+Two families of transformations are applied:
+
+* **AST-level** — constant folding and loop unrolling (factor 4 with a
+  scalar remainder loop).  Unrolling is what gives the -O3 assembly the
+  "obfuscated" structure the paper's motivating example shows: the loop body
+  is replicated, the trip count is pre-computed and a remainder loop handles
+  the tail.
+* **IR-level** — local constant folding / copy propagation, strength
+  reduction (multiplication and division by powers of two become shifts) and
+  global dead-code elimination.
+
+The -O0 pipeline applies none of these.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set, Union
+
+from repro.compiler import ir
+from repro.lang import ast_nodes as ast
+
+UNROLL_FACTOR = 4
+
+
+# ---------------------------------------------------------------------------
+# AST-level: constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constants_expr(expr: ast.Expr) -> ast.Expr:
+    """Recursively fold constant sub-expressions of ``expr``."""
+    if isinstance(expr, ast.BinaryOp):
+        expr.left = fold_constants_expr(expr.left)
+        expr.right = fold_constants_expr(expr.right)
+        if isinstance(expr.left, ast.IntLiteral) and isinstance(expr.right, ast.IntLiteral):
+            folded = _fold_int(expr.op, expr.left.value, expr.right.value)
+            if folded is not None:
+                return ast.IntLiteral(folded)
+        if isinstance(expr.left, (ast.IntLiteral, ast.FloatLiteral)) and isinstance(
+            expr.right, (ast.IntLiteral, ast.FloatLiteral)
+        ):
+            folded_f = _fold_float(expr.op, float(expr.left.value), float(expr.right.value))
+            if folded_f is not None and (
+                isinstance(expr.left, ast.FloatLiteral) or isinstance(expr.right, ast.FloatLiteral)
+            ):
+                return ast.FloatLiteral(folded_f)
+        return expr
+    if isinstance(expr, ast.UnaryOp):
+        expr.operand = fold_constants_expr(expr.operand)
+        if expr.op == "-" and isinstance(expr.operand, ast.IntLiteral):
+            return ast.IntLiteral(-expr.operand.value)
+        if expr.op == "-" and isinstance(expr.operand, ast.FloatLiteral):
+            return ast.FloatLiteral(-expr.operand.value)
+        if expr.op == "!" and isinstance(expr.operand, ast.IntLiteral):
+            return ast.IntLiteral(0 if expr.operand.value else 1)
+        if expr.op == "~" and isinstance(expr.operand, ast.IntLiteral):
+            return ast.IntLiteral(~expr.operand.value)
+        return expr
+    for name, value in vars(expr).items():
+        if isinstance(value, ast.Expr):
+            setattr(expr, name, fold_constants_expr(value))
+        elif isinstance(value, list):
+            setattr(
+                expr,
+                name,
+                [fold_constants_expr(v) if isinstance(v, ast.Expr) else v for v in value],
+            )
+    return expr
+
+
+def _fold_int(op: str, left: int, right: int) -> Optional[int]:
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/" and right != 0:
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        if op == "%" and right != 0:
+            q = abs(left) // abs(right)
+            signed = q if (left >= 0) == (right >= 0) else -q
+            return left - signed * right
+        if op == "<<":
+            return left << (right & 63)
+        if op == ">>":
+            return left >> (right & 63)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+def _fold_float(op: str, left: float, right: float) -> Optional[float]:
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/" and right != 0.0:
+            return left / right
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+def fold_constants_stmt(stmt: ast.Stmt) -> None:
+    """Fold constants in every expression reachable from ``stmt``."""
+    for name, value in vars(stmt).items():
+        if isinstance(value, ast.Expr):
+            setattr(stmt, name, fold_constants_expr(value))
+        elif isinstance(value, ast.Stmt):
+            fold_constants_stmt(value)
+        elif isinstance(value, list):
+            new_items = []
+            for item in value:
+                if isinstance(item, ast.Expr):
+                    new_items.append(fold_constants_expr(item))
+                elif isinstance(item, ast.Stmt):
+                    fold_constants_stmt(item)
+                    new_items.append(item)
+                else:
+                    new_items.append(item)
+            setattr(stmt, name, new_items)
+
+
+# ---------------------------------------------------------------------------
+# AST-level: loop unrolling
+# ---------------------------------------------------------------------------
+
+
+def _assigned_names(node: ast.Node, found: Set[str]) -> None:
+    if isinstance(node, ast.Assignment) and isinstance(node.target, ast.Identifier):
+        found.add(node.target.name)
+    if isinstance(node, (ast.UnaryOp, ast.PostfixOp)) and node.op in ("++", "--"):
+        if isinstance(node.operand, ast.Identifier):
+            found.add(node.operand.name)
+    for value in vars(node).values():
+        if isinstance(value, ast.Node):
+            _assigned_names(value, found)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    _assigned_names(item, found)
+
+
+def _contains_jump(node: ast.Node) -> bool:
+    if isinstance(node, (ast.Break, ast.Continue, ast.Return)):
+        return True
+    for value in vars(node).values():
+        if isinstance(value, ast.Node) and _contains_jump(value):
+            return True
+        if isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.Node) and _contains_jump(item):
+                    return True
+    return False
+
+
+def _substitute_var(node: ast.Node, name: str, replacement: ast.Expr) -> ast.Node:
+    """Return a deep copy of ``node`` with uses of ``name`` replaced."""
+    node = copy.deepcopy(node)
+
+    def rewrite(n: ast.Node) -> ast.Node:
+        if isinstance(n, ast.Identifier) and n.name == name:
+            return copy.deepcopy(replacement)
+        for attr, value in vars(n).items():
+            if isinstance(value, ast.Node):
+                setattr(n, attr, rewrite(value))
+            elif isinstance(value, list):
+                setattr(n, attr, [rewrite(v) if isinstance(v, ast.Node) else v for v in value])
+        return n
+
+    return rewrite(node)
+
+
+def _loop_induction(stmt: ast.For) -> Optional[str]:
+    """Return the induction variable name if the loop matches the unrollable
+    ``for (i = <start>; i < <limit>; i++)`` shape."""
+    if isinstance(stmt.init, ast.Declaration):
+        name = stmt.init.name
+    elif isinstance(stmt.init, ast.ExprStmt) and isinstance(stmt.init.expr, ast.Assignment):
+        target = stmt.init.expr.target
+        if not isinstance(target, ast.Identifier) or stmt.init.expr.op != "=":
+            return None
+        name = target.name
+    else:
+        return None
+
+    if not isinstance(stmt.cond, ast.BinaryOp) or stmt.cond.op not in ("<", "<="):
+        return None
+    if not (isinstance(stmt.cond.left, ast.Identifier) and stmt.cond.left.name == name):
+        return None
+
+    step = stmt.step
+    if isinstance(step, (ast.UnaryOp, ast.PostfixOp)) and step.op == "++":
+        if isinstance(step.operand, ast.Identifier) and step.operand.name == name:
+            pass
+        else:
+            return None
+    elif (
+        isinstance(step, ast.Assignment)
+        and step.op == "+="
+        and isinstance(step.target, ast.Identifier)
+        and step.target.name == name
+        and isinstance(step.value, ast.IntLiteral)
+        and step.value.value == 1
+    ):
+        pass
+    else:
+        return None
+    return name
+
+
+def unroll_loops(stmt: ast.Stmt, factor: int = UNROLL_FACTOR) -> ast.Stmt:
+    """Unroll eligible counted ``for`` loops inside ``stmt`` (recursively)."""
+    if isinstance(stmt, ast.Block):
+        stmt.stmts = [unroll_loops(s, factor) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.then = unroll_loops(stmt.then, factor)
+        if stmt.otherwise is not None:
+            stmt.otherwise = unroll_loops(stmt.otherwise, factor)
+        return stmt
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        stmt.body = unroll_loops(stmt.body, factor)
+        return stmt
+    if not isinstance(stmt, ast.For):
+        return stmt
+
+    stmt.body = unroll_loops(stmt.body, factor)
+    name = _loop_induction(stmt)
+    if name is None:
+        return stmt
+    if _contains_jump(stmt.body):
+        return stmt
+    assigned: Set[str] = set()
+    _assigned_names(stmt.body, assigned)
+    if name in assigned:
+        return stmt
+    limit = stmt.cond.right  # type: ignore[union-attr]
+    if isinstance(limit, ast.Identifier) and limit.name in assigned:
+        return stmt
+    if not isinstance(limit, (ast.Identifier, ast.IntLiteral)):
+        return stmt
+
+    # Build:  for (<init>; i + (factor-1) < limit; i += factor) { body(i) ... body(i+3) }
+    #         for (; i < limit; i++) body(i)
+    index = ast.Identifier(name)
+    main_cond = ast.BinaryOp(
+        stmt.cond.op,  # type: ignore[union-attr]
+        ast.BinaryOp("+", copy.deepcopy(index), ast.IntLiteral(factor - 1)),
+        copy.deepcopy(limit),
+    )
+    main_step = ast.Assignment("+=", copy.deepcopy(index), ast.IntLiteral(factor))
+    bodies: List[ast.Stmt] = []
+    for offset in range(factor):
+        replacement: ast.Expr
+        if offset == 0:
+            replacement = copy.deepcopy(index)
+        else:
+            replacement = ast.BinaryOp("+", copy.deepcopy(index), ast.IntLiteral(offset))
+        bodies.append(_substitute_var(stmt.body, name, replacement))  # type: ignore[arg-type]
+    main_loop = ast.For(stmt.init, main_cond, main_step, ast.Block(bodies))
+    remainder = ast.For(
+        None,
+        copy.deepcopy(stmt.cond),
+        copy.deepcopy(stmt.step),
+        copy.deepcopy(stmt.body),
+    )
+    return ast.Block([main_loop, remainder])
+
+
+def optimize_function_ast(func: ast.FunctionDef, unroll: bool = True) -> ast.FunctionDef:
+    """Apply the AST-level -O3 transformations to a (deep copy of a) function."""
+    func = copy.deepcopy(func)
+    if func.body is None:
+        return func
+    fold_constants_stmt(func.body)
+    if unroll:
+        func.body = unroll_loops(func.body)  # type: ignore[assignment]
+    return func
+
+
+# ---------------------------------------------------------------------------
+# IR-level passes
+# ---------------------------------------------------------------------------
+
+
+def _block_boundaries(instrs: List[ir.IRInstr]) -> List[int]:
+    """Indices that start a new basic block."""
+    starts = {0}
+    for index, instr in enumerate(instrs):
+        if isinstance(instr, ir.IRLabel):
+            starts.add(index)
+        if isinstance(instr, (ir.IRJump, ir.IRBranch, ir.IRRet)):
+            starts.add(index + 1)
+    return sorted(s for s in starts if s < len(instrs))
+
+
+def local_fold_and_propagate(func: ir.IRFunction) -> None:
+    """Per-block constant folding, copy propagation and strength reduction."""
+    instrs = func.instrs
+    starts = set(_block_boundaries(instrs))
+    constants: Dict[ir.VReg, Union[int, float]] = {}
+    copies: Dict[ir.VReg, ir.Operand] = {}
+
+    def invalidate(reg: ir.VReg) -> None:
+        constants.pop(reg, None)
+        copies.pop(reg, None)
+        for key in [k for k, v in copies.items() if v == reg]:
+            copies.pop(key, None)
+
+    new_instrs: List[ir.IRInstr] = []
+    for index, instr in enumerate(instrs):
+        if index in starts:
+            constants.clear()
+            copies.clear()
+
+        # Substitute known constants / copies into the operands.
+        mapping: Dict[ir.VReg, ir.Operand] = {}
+        for used in instr.uses():
+            if used in constants and not isinstance(instr, (ir.IRBranch,)):
+                mapping[used] = constants[used]
+            elif used in copies:
+                mapping[used] = copies[used]
+        if mapping:
+            instr.replace_uses(mapping)
+
+        for defined in instr.defs():
+            invalidate(defined)
+
+        if isinstance(instr, ir.IRConst):
+            constants[instr.dst] = instr.value
+        elif isinstance(instr, ir.IRMove):
+            if isinstance(instr.src, (int, float)):
+                constants[instr.dst] = instr.src
+            elif isinstance(instr.src, ir.VReg):
+                copies[instr.dst] = instr.src
+        elif isinstance(instr, ir.IRBinOp):
+            folded = _fold_ir_binop(instr)
+            if folded is not None:
+                new_instrs.append(folded)
+                if isinstance(folded, ir.IRConst):
+                    constants[folded.dst] = folded.value
+                continue
+            _strength_reduce(instr)
+        elif isinstance(instr, ir.IRCmp):
+            folded_cmp = _fold_ir_cmp(instr)
+            if folded_cmp is not None:
+                new_instrs.append(folded_cmp)
+                constants[folded_cmp.dst] = folded_cmp.value
+                continue
+        new_instrs.append(instr)
+    func.instrs = new_instrs
+
+
+def _fold_ir_binop(instr: ir.IRBinOp) -> Optional[ir.IRInstr]:
+    if isinstance(instr.left, (int, float)) and isinstance(instr.right, (int, float)):
+        if instr.is_float:
+            value = _fold_float(_IR_TO_C[instr.op], float(instr.left), float(instr.right))
+        else:
+            value = _fold_int(_IR_TO_C[instr.op], int(instr.left), int(instr.right))
+        if value is not None:
+            return ir.IRConst(instr.dst, value)
+    # Algebraic identities.
+    if instr.op == "add" and instr.right == 0:
+        return ir.IRMove(instr.dst, instr.left)
+    if instr.op == "sub" and instr.right == 0:
+        return ir.IRMove(instr.dst, instr.left)
+    if instr.op == "mul" and instr.right == 1:
+        return ir.IRMove(instr.dst, instr.left)
+    if instr.op == "mul" and instr.right == 0 and not instr.is_float:
+        return ir.IRConst(instr.dst, 0)
+    if instr.op == "shl" and instr.right == 0:
+        return ir.IRMove(instr.dst, instr.left)
+    return None
+
+
+def _fold_ir_cmp(instr: ir.IRCmp) -> Optional[ir.IRConst]:
+    if isinstance(instr.left, (int, float)) and isinstance(instr.right, (int, float)):
+        table = {
+            "eq": instr.left == instr.right,
+            "ne": instr.left != instr.right,
+            "lt": instr.left < instr.right,
+            "le": instr.left <= instr.right,
+            "gt": instr.left > instr.right,
+            "ge": instr.left >= instr.right,
+        }
+        return ir.IRConst(instr.dst, int(table[instr.op]))
+    return None
+
+
+_IR_TO_C = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+    "shl": "<<",
+    "shr": ">>",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+}
+
+
+def _strength_reduce(instr: ir.IRBinOp) -> None:
+    """Rewrite multiplications/divisions by powers of two into shifts."""
+    if instr.is_float:
+        return
+    if isinstance(instr.right, int) and instr.right > 1 and (instr.right & (instr.right - 1)) == 0:
+        shift = instr.right.bit_length() - 1
+        if instr.op == "mul":
+            instr.op = "shl"
+            instr.right = shift
+        elif instr.op == "div" and instr.unsigned:
+            instr.op = "shr"
+            instr.right = shift
+
+
+def dead_code_elimination(func: ir.IRFunction) -> None:
+    """Remove pure instructions whose results are never used."""
+    changed = True
+    while changed:
+        changed = False
+        used: Set[ir.VReg] = set()
+        for instr in func.instrs:
+            used.update(instr.uses())
+        kept: List[ir.IRInstr] = []
+        for instr in func.instrs:
+            removable = isinstance(
+                instr, (ir.IRConst, ir.IRMove, ir.IRBinOp, ir.IRCmp, ir.IRUnary, ir.IRCast,
+                        ir.IRFrameAddr, ir.IRGlobalAddr, ir.IRLoad)
+            )
+            defs = instr.defs()
+            if removable and defs and not any(d in used for d in defs):
+                changed = True
+                continue
+            kept.append(instr)
+        func.instrs = kept
+
+
+def remove_redundant_jumps(func: ir.IRFunction) -> None:
+    """Drop jumps to the immediately-following label."""
+    kept: List[ir.IRInstr] = []
+    for index, instr in enumerate(func.instrs):
+        if isinstance(instr, ir.IRJump):
+            nxt = func.instrs[index + 1] if index + 1 < len(func.instrs) else None
+            if isinstance(nxt, ir.IRLabel) and nxt.name == instr.target:
+                continue
+        kept.append(instr)
+    func.instrs = kept
+
+
+def optimize_ir(func: ir.IRFunction) -> None:
+    """Run the IR-level -O3 pipeline in place."""
+    for _ in range(3):
+        local_fold_and_propagate(func)
+        dead_code_elimination(func)
+    remove_redundant_jumps(func)

@@ -1,0 +1,158 @@
+"""Linear-scan register allocation for the Mini-C compiler backends.
+
+The allocator assigns every virtual register either a physical register
+(from a per-class free list supplied by the backend) or a spill slot in the
+stack frame.  The -O0 pipeline passes empty register lists, so everything
+spills and the emitted assembly is maximally verbose — mirroring how GCC -O0
+keeps every value in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import ir
+
+
+@dataclass
+class LiveRange:
+    """Closed interval of instruction indices during which a vreg is live."""
+
+    reg: ir.VReg
+    start: int
+    end: int
+
+
+@dataclass
+class Allocation:
+    """The result of register allocation for one function."""
+
+    register_of: Dict[ir.VReg, str]
+    spill_slot_of: Dict[ir.VReg, str]
+
+    def location(self, reg: ir.VReg) -> Tuple[str, str]:
+        """Return ("reg", name) or ("spill", slot_name)."""
+        if reg in self.register_of:
+            return "reg", self.register_of[reg]
+        return "spill", self.spill_slot_of[reg]
+
+
+def compute_live_ranges(func: ir.IRFunction) -> List[LiveRange]:
+    """Compute conservative linear live ranges.
+
+    Because the IR is not in SSA form and control flow can jump backwards,
+    a register used inside a loop must stay live across the whole loop.  We
+    approximate this by extending every range that overlaps a backwards
+    branch to cover the branch target's extent.  This is conservative but
+    safe.
+    """
+    first_def: Dict[ir.VReg, int] = {}
+    last_use: Dict[ir.VReg, int] = {}
+    label_pos: Dict[str, int] = {}
+    for index, instr in enumerate(func.instrs):
+        if isinstance(instr, ir.IRLabel):
+            label_pos[instr.name] = index
+
+    for index, instr in enumerate(func.instrs):
+        for reg in instr.defs():
+            first_def.setdefault(reg, index)
+            last_use[reg] = max(last_use.get(reg, index), index)
+        for reg in instr.uses():
+            first_def.setdefault(reg, index)
+            last_use[reg] = max(last_use.get(reg, index), index)
+    for index, reg in enumerate(func.params):
+        first_def[reg] = -1 - (len(func.params) - index)
+        last_use.setdefault(reg, 0)
+
+    # Extend ranges across backwards jumps (loops).
+    loop_spans: List[Tuple[int, int]] = []
+    for index, instr in enumerate(func.instrs):
+        targets: List[str] = []
+        if isinstance(instr, ir.IRJump):
+            targets = [instr.target]
+        elif isinstance(instr, ir.IRBranch):
+            targets = [instr.true_target, instr.false_target]
+        for target in targets:
+            target_index = label_pos.get(target, index)
+            if target_index < index:
+                loop_spans.append((target_index, index))
+
+    ranges = []
+    for reg, start in first_def.items():
+        end = last_use.get(reg, start)
+        changed = True
+        while changed:
+            changed = False
+            for span_start, span_end in loop_spans:
+                # If the range overlaps the loop body at all, it must cover it.
+                if start <= span_end and end >= span_start and end < span_end:
+                    end = span_end
+                    changed = True
+        ranges.append(LiveRange(reg, start, end))
+    ranges.sort(key=lambda r: r.start)
+    return ranges
+
+
+def linear_scan(
+    func: ir.IRFunction,
+    int_registers: Sequence[str],
+    float_registers: Sequence[str],
+    slot_prefix: str = "spill",
+) -> Allocation:
+    """Allocate registers with the classic linear-scan algorithm.
+
+    Spilled virtual registers get fresh slots added to ``func.slots``.
+    """
+    ranges = compute_live_ranges(func)
+    active: List[Tuple[LiveRange, str]] = []
+    free_int = list(int_registers)
+    free_float = list(float_registers)
+    register_of: Dict[ir.VReg, str] = {}
+    spill_slot_of: Dict[ir.VReg, str] = {}
+
+    def expire(position: int) -> None:
+        nonlocal active
+        still_active = []
+        for live, phys in active:
+            if live.end < position:
+                if live.reg.is_float:
+                    free_float.append(phys)
+                else:
+                    free_int.append(phys)
+            else:
+                still_active.append((live, phys))
+        active = still_active
+
+    def spill(reg: ir.VReg) -> None:
+        slot_name = f"{slot_prefix}.{reg.id}"
+        if slot_name not in func.slots:
+            func.add_slot(slot_name, 8)
+        spill_slot_of[reg] = slot_name
+
+    for live in ranges:
+        expire(live.start)
+        pool = free_float if live.reg.is_float else free_int
+        if pool:
+            phys = pool.pop(0)
+            register_of[live.reg] = phys
+            active.append((live, phys))
+            active.sort(key=lambda item: item[0].end)
+        else:
+            # Spill the interval that ends last (standard heuristic).
+            candidates = [
+                (index, item)
+                for index, item in enumerate(active)
+                if item[0].reg.is_float == live.reg.is_float
+            ]
+            if candidates and candidates[-1][1][0].end > live.end:
+                index, (victim, phys) = candidates[-1]
+                del register_of[victim.reg]
+                spill(victim.reg)
+                register_of[live.reg] = phys
+                active[index] = (live, phys)
+                active.sort(key=lambda item: item[0].end)
+            else:
+                spill(live.reg)
+
+    return Allocation(register_of, spill_slot_of)

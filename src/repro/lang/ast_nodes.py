@@ -1,0 +1,281 @@
+"""Abstract syntax tree node definitions for Mini-C.
+
+Every node is a plain dataclass.  Expressions carry an optional ``ctype``
+attribute filled in by the type checker.  Node classes are intentionally
+small and data-only; behaviour lives in the visitors (type checker, printer,
+interpreter, compiler lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.ctypes import CType
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class of all expressions.  ``ctype`` is set by the type checker."""
+
+    ctype: Optional[CType] = field(default=None, init=False, repr=False, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    text: Optional[str] = None
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    text: Optional[str] = None
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+    text: Optional[str] = None
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+    text: Optional[str] = None
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """A prefix unary operator: ``-`` ``+`` ``!`` ``~`` ``*`` ``&`` ``++`` ``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class PostfixOp(Expr):
+    """A postfix ``++`` or ``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    """``target op value`` where op is ``=`` or a compound assignment."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise`` operator."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field_name: str
+    arrow: bool
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    """``sizeof(type)`` or ``sizeof expr``."""
+
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class of all statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Declaration(Stmt):
+    """A local or global variable declaration.
+
+    ``init`` may be an expression or, for arrays/structs, an
+    :class:`InitializerList`.
+    """
+
+    name: str
+    type: CType
+    init: Optional[Node] = None
+    storage: Optional[str] = None  # "static", "extern" or None
+
+
+@dataclass
+class InitializerList(Node):
+    items: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Node]  # Declaration, ExprStmt or None
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    type: CType
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Optional[Block]  # None for prototypes
+    storage: Optional[str] = None
+    variadic: bool = False
+
+
+@dataclass
+class TypedefDecl(Node):
+    name: str
+    type: CType
+
+
+@dataclass
+class StructDecl(Node):
+    """A top-level ``struct tag { ... };`` definition."""
+
+    tag: str
+    fields: List[Tuple[str, CType]] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit."""
+
+    decls: List[Node] = field(default_factory=list)
+
+    def functions(self) -> List[FunctionDef]:
+        return [d for d in self.decls if isinstance(d, FunctionDef) and d.body is not None]
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for d in self.decls:
+            if isinstance(d, FunctionDef) and d.name == name and d.body is not None:
+                return d
+        return None
+
+    def globals(self) -> List[Declaration]:
+        return [d for d in self.decls if isinstance(d, Declaration)]
+
+    def typedefs(self) -> List[TypedefDecl]:
+        return [d for d in self.decls if isinstance(d, TypedefDecl)]
+
+    def structs(self) -> List[StructDecl]:
+        return [d for d in self.decls if isinstance(d, StructDecl)]

@@ -1,0 +1,947 @@
+"""A behavioural interpreter for Mini-C.
+
+The interpreter executes a type-checked program on concrete argument values
+and reports the return value together with the final contents of every
+pointer/array argument and every global variable.  This is the machinery
+behind the paper's input/output (IO) equivalence check: the ground-truth
+assembly is executed in :mod:`repro.vm` while the decompiled hypothesis is
+executed here, and the two observable states are compared.
+
+Memory is a flat byte-addressable array with bump allocation; structs are
+packed with no padding.  Both the interpreter and the assembly VMs use the
+same layout so pointer-heavy programs behave identically in both worlds.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.typecheck import BUILTIN_FUNCTIONS, TypeChecker
+
+
+class CInterpreterError(Exception):
+    """Raised when execution hits an unrecoverable runtime error."""
+
+
+class RuntimeLimitExceeded(CInterpreterError):
+    """Raised when the configured step budget is exhausted."""
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class Memory:
+    """Flat byte-addressable memory with bump allocation.
+
+    Address 0 is reserved as the NULL pointer and never allocated.
+    """
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self.data = bytearray(size)
+        self.brk = 16  # leave low addresses unused so NULL derefs fault
+
+    def allocate(self, size: int, align: int = 8) -> int:
+        size = max(1, size)
+        self.brk = (self.brk + align - 1) & ~(align - 1)
+        addr = self.brk
+        self.brk += size
+        if self.brk > len(self.data):
+            self.data.extend(bytearray(self.brk - len(self.data) + 4096))
+        return addr
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr <= 0 or addr + size > len(self.data):
+            raise CInterpreterError(f"invalid memory access at address {addr}")
+
+    def read_int(self, addr: int, size: int, signed: bool) -> int:
+        self._check(addr, size)
+        return int.from_bytes(self.data[addr : addr + size], "little", signed=signed)
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        self._check(addr, size)
+        mask = (1 << (8 * size)) - 1
+        self.data[addr : addr + size] = int(value & mask).to_bytes(size, "little")
+
+    def read_float(self, addr: int, size: int) -> float:
+        self._check(addr, size)
+        fmt = "<f" if size == 4 else "<d"
+        return _struct.unpack(fmt, self.data[addr : addr + size])[0]
+
+    def write_float(self, addr: int, value: float, size: int) -> None:
+        self._check(addr, size)
+        fmt = "<f" if size == 4 else "<d"
+        self.data[addr : addr + size] = _struct.pack(fmt, float(value))
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self.data[addr : addr + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, max(1, len(data)))
+        self.data[addr : addr + len(data)] = data
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        out = []
+        for offset in range(limit):
+            byte = self.read_int(addr + offset, 1, signed=False)
+            if byte == 0:
+                break
+            out.append(chr(byte))
+        return "".join(out)
+
+    def write_cstring(self, addr: int, text: str) -> None:
+        self.write_bytes(addr, text.encode("latin-1", errors="replace") + b"\0")
+
+
+def read_typed(memory: Memory, addr: int, t: ct.CType) -> Union[int, float]:
+    """Read a scalar of type ``t`` from memory."""
+    if isinstance(t, ct.FloatType):
+        return memory.read_float(addr, t.sizeof())
+    if isinstance(t, (ct.PointerType, ct.ArrayType, ct.FunctionType)):
+        return memory.read_int(addr, 8, signed=False)
+    if isinstance(t, ct.IntType):
+        return memory.read_int(addr, t.sizeof(), signed=not t.unsigned)
+    if isinstance(t, ct.NamedType):
+        return memory.read_int(addr, 8, signed=True)
+    raise CInterpreterError(f"cannot read value of type {t}")
+
+
+def write_typed(memory: Memory, addr: int, value: Union[int, float], t: ct.CType) -> None:
+    """Write a scalar of type ``t`` to memory."""
+    if isinstance(t, ct.FloatType):
+        memory.write_float(addr, float(value), t.sizeof())
+    elif isinstance(t, (ct.PointerType, ct.ArrayType, ct.FunctionType)):
+        memory.write_int(addr, int(value), 8)
+    elif isinstance(t, ct.IntType):
+        memory.write_int(addr, int(value), t.sizeof())
+    elif isinstance(t, ct.NamedType):
+        memory.write_int(addr, int(value), 8)
+    else:
+        raise CInterpreterError(f"cannot write value of type {t}")
+
+
+# ---------------------------------------------------------------------------
+# Values and control flow signals
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LValue:
+    """An addressable location with a type."""
+
+    addr: int
+    type: ct.CType
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Union[int, float, None]) -> None:
+        self.value = value
+
+
+@dataclass
+class ExecutionResult:
+    """Observable state after running a function on one input."""
+
+    return_value: Union[int, float, None]
+    arg_values: List[Any] = field(default_factory=list)
+    globals: Dict[str, Any] = field(default_factory=dict)
+    steps: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+class Interpreter:
+    """Executes functions from a Mini-C program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        max_steps: int = 200_000,
+        memory_size: int = 1 << 20,
+    ) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.memory = Memory(memory_size)
+        self.steps = 0
+        checker = TypeChecker(program)
+        checker.check()
+        self.typedefs = checker.typedefs
+        self.structs = checker.structs
+        self.functions: Dict[str, ast.FunctionDef] = {
+            f.name: f for f in program.functions()
+        }
+        self.global_addrs: Dict[str, LValue] = {}
+        self._string_cache: Dict[str, int] = {}
+        self._alloc_globals()
+
+    # -- setup --------------------------------------------------------------
+
+    def _resolve_type(self, t: ct.CType) -> ct.CType:
+        if isinstance(t, ct.NamedType) and t.name in self.typedefs:
+            return self._resolve_type(self.typedefs[t.name])
+        if isinstance(t, ct.StructType) and not t.fields and t.tag in self.structs:
+            return self.structs[t.tag]
+        if isinstance(t, ct.PointerType):
+            return ct.PointerType(self._resolve_type(t.pointee))
+        if isinstance(t, ct.ArrayType):
+            return ct.ArrayType(self._resolve_type(t.element), t.length)
+        return t
+
+    def _alloc_globals(self) -> None:
+        decls: List[ast.Declaration] = []
+        for decl in self.program.decls:
+            if isinstance(decl, ast.Declaration):
+                decls.append(decl)
+            elif isinstance(decl, ast.Block):
+                decls.extend(d for d in decl.stmts if isinstance(d, ast.Declaration))
+        for decl in decls:
+            t = self._resolve_type(decl.type)
+            addr = self.memory.allocate(max(t.sizeof(), 1))
+            lvalue = LValue(addr, t)
+            self.global_addrs[decl.name] = lvalue
+            if decl.init is not None:
+                self._store_initializer(lvalue, decl.init, {})
+
+    # -- public API ---------------------------------------------------------
+
+    def set_global(self, name: str, value: Any) -> None:
+        """Set a global variable to a Python value before execution."""
+        if name not in self.global_addrs:
+            raise CInterpreterError(f"no global named {name!r}")
+        lvalue = self.global_addrs[name]
+        self._store_python_value(lvalue, value)
+
+    def get_global(self, name: str) -> Any:
+        """Read the current Python value of a global variable."""
+        if name not in self.global_addrs:
+            raise CInterpreterError(f"no global named {name!r}")
+        lvalue = self.global_addrs[name]
+        return self._load_python_value(lvalue)
+
+    def run_function(
+        self,
+        name: str,
+        args: Sequence[Any],
+        globals_init: Optional[Dict[str, Any]] = None,
+    ) -> ExecutionResult:
+        """Run function ``name`` on ``args`` and return the observable state.
+
+        Array / string arguments are marshalled into memory and their final
+        contents are reported back in ``arg_values`` so that out-parameters
+        participate in the equivalence check.
+        """
+        if name not in self.functions:
+            raise CInterpreterError(f"no function named {name!r}")
+        func = self.functions[name]
+        if globals_init:
+            for gname, gvalue in globals_init.items():
+                if gname in self.global_addrs:
+                    self.set_global(gname, gvalue)
+
+        arg_cells: List[Tuple[Any, Optional[LValue], Optional[int]]] = []
+        call_values: List[Union[int, float]] = []
+        for param, value in zip(func.params, list(args) + [0] * len(func.params)):
+            ptype = ct.decay(self._resolve_type(param.type))
+            marshalled, backing, length = self._marshal_argument(value, ptype)
+            call_values.append(marshalled)
+            arg_cells.append((value, backing, length))
+
+        self.steps = 0
+        ret = self._call_user_function(func, call_values)
+
+        final_args: List[Any] = []
+        for (original, backing, length) in arg_cells:
+            if backing is None:
+                final_args.append(original)
+            else:
+                final_args.append(self._read_back_argument(backing, length, original))
+        final_globals = {gname: self.get_global(gname) for gname in self.global_addrs}
+        return ExecutionResult(ret, final_args, final_globals, self.steps)
+
+    # -- argument marshalling -------------------------------------------------
+
+    def _marshal_argument(
+        self, value: Any, ptype: ct.CType
+    ) -> Tuple[Union[int, float], Optional[LValue], Optional[int]]:
+        """Convert a Python argument into a call value.
+
+        Returns (scalar value to pass, backing lvalue for read-back, length).
+        """
+        if isinstance(value, str) and isinstance(ptype, ct.PointerType):
+            addr = self.memory.allocate(len(value) + 16)
+            self.memory.write_cstring(addr, value)
+            elem = self._resolve_type(ptype.pointee)
+            return addr, LValue(addr, ct.ArrayType(elem, len(value) + 1)), len(value) + 1
+        if isinstance(value, (list, tuple)) and isinstance(ptype, ct.PointerType):
+            elem = self._resolve_type(ptype.pointee)
+            if isinstance(elem, ct.VoidType):
+                elem = ct.CHAR
+            size = max(1, len(value)) * elem.sizeof()
+            addr = self.memory.allocate(size + 16)
+            for index, item in enumerate(value):
+                write_typed(self.memory, addr + index * elem.sizeof(), item, elem)
+            return addr, LValue(addr, ct.ArrayType(elem, len(value))), len(value)
+        if isinstance(value, dict) and isinstance(ptype, ct.PointerType):
+            struct_type = self._resolve_type(ptype.pointee)
+            addr = self.memory.allocate(max(struct_type.sizeof(), 8) + 8)
+            lvalue = LValue(addr, struct_type)
+            self._store_python_value(lvalue, value)
+            return addr, lvalue, None
+        if isinstance(ptype, ct.FloatType):
+            return float(value), None, None
+        if isinstance(ptype, ct.IntType):
+            return ptype.wrap(int(value)), None, None
+        return int(value) if not isinstance(value, float) else value, None, None
+
+    def _read_back_argument(self, backing: LValue, length: Optional[int], original: Any) -> Any:
+        if isinstance(backing.type, ct.ArrayType):
+            elem = backing.type.element
+            count = length if length is not None else (backing.type.length or 0)
+            values = [
+                read_typed(self.memory, backing.addr + i * elem.sizeof(), elem)
+                for i in range(count)
+            ]
+            if isinstance(original, str):
+                chars = []
+                for v in values:
+                    if v == 0:
+                        break
+                    chars.append(chr(int(v) & 0xFF))
+                return "".join(chars)
+            return values
+        return self._load_python_value(backing)
+
+    def _store_python_value(self, lvalue: LValue, value: Any) -> None:
+        t = self._resolve_type(lvalue.type)
+        if isinstance(t, ct.ArrayType) and isinstance(value, (list, tuple)):
+            elem = t.element
+            for index, item in enumerate(value):
+                self._store_python_value(LValue(lvalue.addr + index * elem.sizeof(), elem), item)
+        elif isinstance(t, ct.ArrayType) and isinstance(value, str):
+            self.memory.write_cstring(lvalue.addr, value)
+        elif isinstance(t, ct.StructType) and isinstance(value, dict):
+            for fname, fvalue in value.items():
+                if t.has_field(fname):
+                    ftype = self._resolve_type(t.field_type(fname))
+                    self._store_python_value(
+                        LValue(lvalue.addr + t.field_offset(fname), ftype), fvalue
+                    )
+        elif isinstance(value, (list, tuple)) and isinstance(t, ct.PointerType):
+            elem = self._resolve_type(t.pointee)
+            addr = self.memory.allocate(max(1, len(value)) * elem.sizeof() + 8)
+            for index, item in enumerate(value):
+                write_typed(self.memory, addr + index * elem.sizeof(), item, elem)
+            write_typed(self.memory, lvalue.addr, addr, t)
+        elif isinstance(value, str) and isinstance(t, ct.PointerType):
+            addr = self.memory.allocate(len(value) + 8)
+            self.memory.write_cstring(addr, value)
+            write_typed(self.memory, lvalue.addr, addr, t)
+        else:
+            write_typed(self.memory, lvalue.addr, value, t)
+
+    def _load_python_value(self, lvalue: LValue) -> Any:
+        t = self._resolve_type(lvalue.type)
+        if isinstance(t, ct.ArrayType):
+            elem = t.element
+            count = t.length or 0
+            return [
+                read_typed(self.memory, lvalue.addr + i * elem.sizeof(), elem)
+                for i in range(count)
+            ]
+        if isinstance(t, ct.StructType):
+            return {
+                f.name: self._load_python_value(
+                    LValue(lvalue.addr + t.field_offset(f.name), self._resolve_type(f.type))
+                )
+                for f in t.fields
+            }
+        return read_typed(self.memory, lvalue.addr, t)
+
+    # -- function invocation --------------------------------------------------
+
+    def _call_user_function(
+        self, func: ast.FunctionDef, args: Sequence[Union[int, float]]
+    ) -> Union[int, float, None]:
+        scope: Dict[str, LValue] = {}
+        for param, value in zip(func.params, args):
+            ptype = ct.decay(self._resolve_type(param.type))
+            addr = self.memory.allocate(max(ptype.sizeof(), 8))
+            write_typed(self.memory, addr, value, ptype)
+            scope[param.name] = LValue(addr, ptype)
+        try:
+            self._exec_stmt(func.body, scope)
+        except _ReturnSignal as signal:
+            return self._coerce_return(signal.value, func.return_type)
+        return None if ct.is_void(self._resolve_type(func.return_type)) else 0
+
+    def _coerce_return(
+        self, value: Union[int, float, None], return_type: ct.CType
+    ) -> Union[int, float, None]:
+        t = self._resolve_type(return_type)
+        if value is None:
+            return None if ct.is_void(t) else 0
+        if isinstance(t, ct.FloatType):
+            return float(value)
+        if isinstance(t, ct.IntType):
+            return t.wrap(int(value))
+        if ct.is_void(t):
+            return None
+        return value
+
+    # -- statements ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise RuntimeLimitExceeded(f"exceeded {self.max_steps} execution steps")
+
+    def _exec_stmt(self, stmt: ast.Stmt, scope: Dict[str, LValue]) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            inner = dict(scope)
+            for s in stmt.stmts:
+                self._exec_stmt(s, inner)
+            # Propagate new bindings of pre-existing names back (block scoping
+            # is approximated; good enough for the generated corpus).
+            for name in scope:
+                if name in inner:
+                    scope[name] = inner[name]
+        elif isinstance(stmt, ast.Declaration):
+            t = self._resolve_type(stmt.type)
+            addr = self.memory.allocate(max(t.sizeof(), 8))
+            lvalue = LValue(addr, t)
+            scope[stmt.name] = lvalue
+            if stmt.init is not None:
+                self._store_initializer(lvalue, stmt.init, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond, scope)):
+                self._exec_stmt(stmt.then, scope)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(self._eval(stmt.cond, scope)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, scope)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, scope)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, scope)):
+                    break
+        elif isinstance(stmt, ast.For):
+            inner = dict(scope)
+            if isinstance(stmt.init, ast.Stmt):
+                self._exec_stmt(stmt.init, inner)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, inner)):
+                self._tick()
+                try:
+                    self._exec_stmt(stmt.body, inner)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step, inner)
+            for name in scope:
+                if name in inner:
+                    scope[name] = inner[name]
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, scope) if stmt.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:
+            raise CInterpreterError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _store_initializer(self, lvalue: LValue, init: ast.Node, scope: Dict[str, LValue]) -> None:
+        t = self._resolve_type(lvalue.type)
+        if isinstance(init, ast.InitializerList):
+            if isinstance(t, ct.ArrayType):
+                elem = t.element
+                for index, item in enumerate(init.items):
+                    self._store_initializer(
+                        LValue(lvalue.addr + index * elem.sizeof(), elem), item, scope
+                    )
+            elif isinstance(t, ct.StructType):
+                for f, item in zip(t.fields, init.items):
+                    self._store_initializer(
+                        LValue(lvalue.addr + t.field_offset(f.name), self._resolve_type(f.type)),
+                        item,
+                        scope,
+                    )
+            else:
+                if init.items:
+                    self._store_initializer(lvalue, init.items[0], scope)
+        else:
+            value = self._eval(init, scope)  # type: ignore[arg-type]
+            if isinstance(t, ct.ArrayType) and isinstance(init, ast.StringLiteral):
+                self.memory.write_cstring(lvalue.addr, init.value)
+            else:
+                write_typed(self.memory, lvalue.addr, value, t)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _truthy(self, value: Union[int, float, None]) -> bool:
+        if value is None:
+            return False
+        return value != 0
+
+    def _eval(self, expr: ast.Expr, scope: Dict[str, LValue]) -> Union[int, float]:
+        self._tick()
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.CharLiteral):
+            return expr.value
+        if isinstance(expr, ast.StringLiteral):
+            return self._intern_string(expr.value)
+        if isinstance(expr, ast.Identifier):
+            lvalue = self._lookup(expr.name, scope)
+            if lvalue is None:
+                if expr.name in ("NULL", "false"):
+                    return 0
+                if expr.name == "true":
+                    return 1
+                if expr.name in self.functions or expr.name in BUILTIN_FUNCTIONS:
+                    return 0
+                raise CInterpreterError(f"use of undeclared identifier {expr.name!r}")
+            if isinstance(self._resolve_type(lvalue.type), ct.ArrayType):
+                return lvalue.addr
+            return read_typed(self.memory, lvalue.addr, self._resolve_type(lvalue.type))
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, scope)
+        if isinstance(expr, ast.PostfixOp):
+            lvalue = self._eval_lvalue(expr.operand, scope)
+            t = self._resolve_type(lvalue.type)
+            old = read_typed(self.memory, lvalue.addr, t)
+            delta = self._pointer_step(t)
+            new = old + delta if expr.op == "++" else old - delta
+            write_typed(self.memory, lvalue.addr, new, t)
+            return old
+        if isinstance(expr, ast.Assignment):
+            return self._eval_assignment(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            if self._truthy(self._eval(expr.cond, scope)):
+                return self._eval(expr.then, scope)
+            return self._eval(expr.otherwise, scope)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, scope)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            lvalue = self._eval_lvalue(expr, scope)
+            t = self._resolve_type(lvalue.type)
+            if isinstance(t, ct.ArrayType):
+                return lvalue.addr
+            return read_typed(self.memory, lvalue.addr, t)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, scope)
+            return self._cast_value(value, self._resolve_type(expr.target_type))
+        if isinstance(expr, ast.SizeOf):
+            if expr.target_type is not None:
+                return self._resolve_type(expr.target_type).sizeof()
+            t = expr.operand.ctype if expr.operand is not None and expr.operand.ctype else ct.INT
+            return self._resolve_type(t).sizeof()
+        raise CInterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+    def _lookup(self, name: str, scope: Dict[str, LValue]) -> Optional[LValue]:
+        if name in scope:
+            return scope[name]
+        return self.global_addrs.get(name)
+
+    def _intern_string(self, text: str) -> int:
+        if text not in self._string_cache:
+            addr = self.memory.allocate(len(text) + 8)
+            self.memory.write_cstring(addr, text)
+            self._string_cache[text] = addr
+        return self._string_cache[text]
+
+    def _cast_value(self, value: Union[int, float], target: ct.CType) -> Union[int, float]:
+        if isinstance(target, ct.FloatType):
+            return float(value)
+        if isinstance(target, ct.IntType):
+            return target.wrap(int(value))
+        if isinstance(target, (ct.PointerType, ct.ArrayType)):
+            return int(value)
+        return value
+
+    def _pointer_step(self, t: ct.CType) -> int:
+        if isinstance(t, ct.PointerType):
+            pointee = self._resolve_type(t.pointee)
+            return max(1, pointee.sizeof())
+        return 1
+
+    def _expr_static_type(self, expr: ast.Expr, scope: Dict[str, LValue]) -> ct.CType:
+        """Best-effort static type for an expression during evaluation."""
+        if expr.ctype is not None:
+            return self._resolve_type(expr.ctype)
+        if isinstance(expr, ast.Identifier):
+            lvalue = self._lookup(expr.name, scope)
+            if lvalue is not None:
+                return self._resolve_type(lvalue.type)
+        if isinstance(expr, ast.Cast):
+            return self._resolve_type(expr.target_type)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "&":
+            return ct.PointerType(self._expr_static_type(expr.operand, scope))
+        if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+            return ct.INT
+        if isinstance(expr, ast.FloatLiteral):
+            return ct.DOUBLE
+        return ct.INT
+
+    def _eval_binary(self, expr: ast.BinaryOp, scope: Dict[str, LValue]) -> Union[int, float]:
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(self._eval(expr.left, scope)):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right, scope)) else 0
+        if op == "||":
+            if self._truthy(self._eval(expr.left, scope)):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, scope)) else 0
+        if op == ",":
+            self._eval(expr.left, scope)
+            return self._eval(expr.right, scope)
+
+        left = self._eval(expr.left, scope)
+        right = self._eval(expr.right, scope)
+        left_type = ct.decay(self._expr_static_type(expr.left, scope))
+        right_type = ct.decay(self._expr_static_type(expr.right, scope))
+
+        # Pointer arithmetic scaling.
+        if op in ("+", "-"):
+            if isinstance(left_type, ct.PointerType) and not isinstance(
+                right_type, ct.PointerType
+            ):
+                step = self._pointer_step(left_type)
+                return int(left) + int(right) * step if op == "+" else int(left) - int(right) * step
+            if (
+                isinstance(right_type, ct.PointerType)
+                and not isinstance(left_type, ct.PointerType)
+                and op == "+"
+            ):
+                step = self._pointer_step(right_type)
+                return int(right) + int(left) * step
+            if isinstance(left_type, ct.PointerType) and isinstance(right_type, ct.PointerType):
+                step = self._pointer_step(left_type)
+                return (int(left) - int(right)) // step
+
+        return apply_binary(op, left, right, left_type, right_type)
+
+    def _eval_unary(self, expr: ast.UnaryOp, scope: Dict[str, LValue]) -> Union[int, float]:
+        if expr.op == "&":
+            return self._eval_lvalue(expr.operand, scope).addr
+        if expr.op == "*":
+            addr = self._eval(expr.operand, scope)
+            pointee = self._deref_type(expr.operand, scope)
+            if isinstance(pointee, ct.ArrayType):
+                return int(addr)
+            return read_typed(self.memory, int(addr), pointee)
+        if expr.op in ("++", "--"):
+            lvalue = self._eval_lvalue(expr.operand, scope)
+            t = self._resolve_type(lvalue.type)
+            old = read_typed(self.memory, lvalue.addr, t)
+            delta = self._pointer_step(t)
+            new = old + delta if expr.op == "++" else old - delta
+            write_typed(self.memory, lvalue.addr, new, t)
+            return new
+        value = self._eval(expr.operand, scope)
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return value
+        if expr.op == "!":
+            return 0 if self._truthy(value) else 1
+        if expr.op == "~":
+            return ~int(value)
+        raise CInterpreterError(f"unsupported unary operator {expr.op!r}")
+
+    def _deref_type(self, pointer_expr: ast.Expr, scope: Dict[str, LValue]) -> ct.CType:
+        t = ct.decay(self._expr_static_type(pointer_expr, scope))
+        if isinstance(t, ct.PointerType):
+            return self._resolve_type(t.pointee)
+        return ct.INT
+
+    def _eval_assignment(self, expr: ast.Assignment, scope: Dict[str, LValue]) -> Union[int, float]:
+        lvalue = self._eval_lvalue(expr.target, scope)
+        t = self._resolve_type(lvalue.type)
+        value = self._eval(expr.value, scope)
+        if expr.op != "=":
+            op = expr.op[:-1]
+            current = read_typed(self.memory, lvalue.addr, t)
+            right_type = ct.decay(self._expr_static_type(expr.value, scope))
+            if isinstance(t, ct.PointerType) and op in ("+", "-"):
+                step = self._pointer_step(t)
+                value = current + value * step if op == "+" else current - value * step
+            else:
+                value = apply_binary(op, current, value, t, right_type)
+        if isinstance(t, ct.IntType):
+            value = t.wrap(int(value))
+        elif isinstance(t, ct.FloatType):
+            value = float(value)
+        write_typed(self.memory, lvalue.addr, value, t)
+        return value
+
+    def _eval_lvalue(self, expr: ast.Expr, scope: Dict[str, LValue]) -> LValue:
+        if isinstance(expr, ast.Identifier):
+            lvalue = self._lookup(expr.name, scope)
+            if lvalue is None:
+                raise CInterpreterError(f"use of undeclared identifier {expr.name!r}")
+            return lvalue
+        if isinstance(expr, ast.UnaryOp) and expr.op == "*":
+            addr = self._eval(expr.operand, scope)
+            return LValue(int(addr), self._deref_type(expr.operand, scope))
+        if isinstance(expr, ast.Index):
+            base_type = ct.decay(self._expr_static_type(expr.base, scope))
+            base = self._eval(expr.base, scope)
+            index = self._eval(expr.index, scope)
+            if isinstance(base_type, ct.PointerType):
+                elem = self._resolve_type(base_type.pointee)
+            else:
+                elem = ct.INT
+            return LValue(int(base) + int(index) * max(1, elem.sizeof()), elem)
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base_addr = int(self._eval(expr.base, scope))
+                base_type = ct.decay(self._expr_static_type(expr.base, scope))
+                struct_type = (
+                    self._resolve_type(base_type.pointee)
+                    if isinstance(base_type, ct.PointerType)
+                    else ct.INT
+                )
+            else:
+                base_lvalue = self._eval_lvalue(expr.base, scope)
+                base_addr = base_lvalue.addr
+                struct_type = self._resolve_type(base_lvalue.type)
+            if not isinstance(struct_type, ct.StructType):
+                raise CInterpreterError(
+                    f"member access {expr.field_name!r} on non-struct value"
+                )
+            struct_type = self.structs.get(struct_type.tag, struct_type)
+            if not struct_type.has_field(expr.field_name):
+                raise CInterpreterError(
+                    f"struct {struct_type.tag} has no member {expr.field_name!r}"
+                )
+            return LValue(
+                base_addr + struct_type.field_offset(expr.field_name),
+                self._resolve_type(struct_type.field_type(expr.field_name)),
+            )
+        if isinstance(expr, ast.Cast):
+            return self._eval_lvalue(expr.operand, scope)
+        raise CInterpreterError(f"expression {type(expr).__name__} is not an lvalue")
+
+    # -- calls -----------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, scope: Dict[str, LValue]) -> Union[int, float]:
+        if not isinstance(expr.func, ast.Identifier):
+            raise CInterpreterError("indirect calls are not supported")
+        name = expr.func.name
+        args = [self._eval(arg, scope) for arg in expr.args]
+        if name in self.functions:
+            if self.steps > self.max_steps:
+                raise RuntimeLimitExceeded(f"exceeded {self.max_steps} execution steps")
+            result = self._call_user_function(self.functions[name], args)
+            return 0 if result is None else result
+        return self._call_builtin(name, args, expr, scope)
+
+    def _call_builtin(
+        self,
+        name: str,
+        args: List[Union[int, float]],
+        expr: ast.Call,
+        scope: Dict[str, LValue],
+    ) -> Union[int, float]:
+        import math
+
+        memory = self.memory
+        if name == "abs":
+            return abs(int(args[0]))
+        if name == "labs":
+            return abs(int(args[0]))
+        if name in ("fabs", "fabsf"):
+            return abs(float(args[0]))
+        if name in ("sqrt", "sqrtf"):
+            return math.sqrt(max(0.0, float(args[0])))
+        if name == "sin":
+            return math.sin(float(args[0]))
+        if name == "cos":
+            return math.cos(float(args[0]))
+        if name == "tan":
+            return math.tan(float(args[0]))
+        if name == "exp":
+            return math.exp(min(700.0, float(args[0])))
+        if name == "log":
+            return math.log(float(args[0])) if float(args[0]) > 0 else 0.0
+        if name == "pow":
+            try:
+                return float(args[0]) ** float(args[1])
+            except (OverflowError, ZeroDivisionError):
+                return 0.0
+        if name == "floor":
+            return float(math.floor(float(args[0])))
+        if name == "ceil":
+            return float(math.ceil(float(args[0])))
+        if name == "memcpy" or name == "memmove":
+            dest, src, count = int(args[0]), int(args[1]), int(args[2])
+            data = memory.read_bytes(src, count) if count > 0 else b""
+            if count > 0:
+                memory.write_bytes(dest, data)
+            return dest
+        if name == "memset":
+            dest, value, count = int(args[0]), int(args[1]), int(args[2])
+            if count > 0:
+                memory.write_bytes(dest, bytes([value & 0xFF]) * count)
+            return dest
+        if name == "strlen":
+            return len(memory.read_cstring(int(args[0])))
+        if name == "strcpy":
+            text = memory.read_cstring(int(args[1]))
+            memory.write_cstring(int(args[0]), text)
+            return int(args[0])
+        if name == "strncpy":
+            text = memory.read_cstring(int(args[1]))[: int(args[2])]
+            memory.write_cstring(int(args[0]), text)
+            return int(args[0])
+        if name == "strcat":
+            base = memory.read_cstring(int(args[0]))
+            extra = memory.read_cstring(int(args[1]))
+            memory.write_cstring(int(args[0]), base + extra)
+            return int(args[0])
+        if name == "strcmp":
+            a = memory.read_cstring(int(args[0]))
+            b = memory.read_cstring(int(args[1]))
+            return (a > b) - (a < b)
+        if name == "strchr":
+            text = memory.read_cstring(int(args[0]))
+            ch = chr(int(args[1]) & 0xFF)
+            index = text.find(ch)
+            return 0 if index < 0 else int(args[0]) + index
+        if name == "malloc" or name == "calloc":
+            size = int(args[0]) * (int(args[1]) if name == "calloc" and len(args) > 1 else 1)
+            return memory.allocate(max(1, size))
+        if name == "free":
+            return 0
+        if name in ("printf", "putchar", "puts"):
+            return 0
+        if name == "isdigit":
+            return 1 if chr(int(args[0]) & 0xFF).isdigit() else 0
+        if name == "isalpha":
+            return 1 if chr(int(args[0]) & 0xFF).isalpha() else 0
+        if name == "isspace":
+            return 1 if chr(int(args[0]) & 0xFF).isspace() else 0
+        if name == "toupper":
+            return ord(chr(int(args[0]) & 0xFF).upper())
+        if name == "tolower":
+            return ord(chr(int(args[0]) & 0xFF).lower())
+        if name == "rand":
+            return 42
+        raise CInterpreterError(f"call to unknown function {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Shared arithmetic semantics
+# ---------------------------------------------------------------------------
+
+
+def apply_binary(
+    op: str,
+    left: Union[int, float],
+    right: Union[int, float],
+    left_type: ct.CType,
+    right_type: ct.CType,
+) -> Union[int, float]:
+    """Apply a C binary operator with (simplified) C semantics.
+
+    Integer division truncates toward zero, shifts and bitwise operators use
+    integer operands, and comparison operators return 0/1.
+    """
+    is_float = (
+        isinstance(left_type, ct.FloatType)
+        or isinstance(right_type, ct.FloatType)
+        or isinstance(left, float)
+        or isinstance(right, float)
+    )
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        table = {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            ">": left > right,
+            "<=": left <= right,
+            ">=": left >= right,
+        }
+        return 1 if table[op] else 0
+    if is_float and op in ("+", "-", "*", "/"):
+        lf, rf = float(left), float(right)
+        if op == "+":
+            return lf + rf
+        if op == "-":
+            return lf - rf
+        if op == "*":
+            return lf * rf
+        if rf == 0.0:
+            raise CInterpreterError("floating point division by zero")
+        return lf / rf
+    li, ri = int(left), int(right)
+    if op == "+":
+        return li + ri
+    if op == "-":
+        return li - ri
+    if op == "*":
+        return li * ri
+    if op == "/":
+        if ri == 0:
+            raise CInterpreterError("integer division by zero")
+        quotient = abs(li) // abs(ri)
+        return quotient if (li >= 0) == (ri >= 0) else -quotient
+    if op == "%":
+        if ri == 0:
+            raise CInterpreterError("integer modulo by zero")
+        quotient = abs(li) // abs(ri)
+        signed_quotient = quotient if (li >= 0) == (ri >= 0) else -quotient
+        return li - signed_quotient * ri
+    if op == "<<":
+        return li << (ri & 63)
+    if op == ">>":
+        return li >> (ri & 63)
+    if op == "&":
+        return li & ri
+    if op == "|":
+        return li | ri
+    if op == "^":
+        return li ^ ri
+    raise CInterpreterError(f"unsupported binary operator {op!r}")

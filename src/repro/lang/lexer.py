@@ -1,0 +1,351 @@
+"""Lexer for the Mini-C language.
+
+The lexer converts a source string into a flat list of :class:`Token`
+objects.  It understands the subset of C used throughout the reproduction:
+identifiers, keywords, integer / floating point / character / string
+literals, all the multi-character operators and punctuation, and both
+``//`` and ``/* ... */`` comments (which are discarded).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenKind(enum.Enum):
+    """Classification of a lexical token."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    CHAR_LIT = "char"
+    STRING_LIT = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Keywords recognised by the Mini-C front end.
+KEYWORDS = frozenset(
+    {
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "float",
+        "double",
+        "signed",
+        "unsigned",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "const",
+        "static",
+        "extern",
+        "restrict",
+        "__restrict",
+        "volatile",
+        "inline",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "switch",
+        "case",
+        "default",
+        "goto",
+    }
+)
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCTUATIONS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+class LexError(Exception):
+    """Raised when the input contains a character sequence that is not Mini-C."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: The token class.
+        text: The exact source text of the token (escape sequences in string
+            and character literals are *not* resolved here).
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int = 0
+    column: int = 0
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+class Lexer:
+    """Streaming lexer over a Mini-C source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            elif ch == "#":
+                # Preprocessor lines (e.g. #include) are skipped; the corpus
+                # generator emits self-contained code but decompiler output
+                # occasionally includes them.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", self.line, self.column)
+                return
+            yield self._next_token()
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        for punct in _PUNCTUATIONS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # Suffixes: u, l, ul, ll, f etc.
+        while self._peek() and self._peek() in "uUlLfF":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        start = self.pos
+        self._advance()  # opening quote
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self.pos >= len(self.source):
+            raise LexError("unterminated string literal", line, column)
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING_LIT, self.source[start : self.pos], line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        start = self.pos
+        self._advance()  # opening quote
+        while self.pos < len(self.source) and self._peek() != "'":
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self.pos >= len(self.source):
+            raise LexError("unterminated character literal", line, column)
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, self.source[start : self.pos], line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the full token list including EOF."""
+    return list(Lexer(source).tokens())
+
+
+def parse_int_literal(text: str) -> int:
+    """Parse a C integer literal's value (handles hex and suffixes)."""
+    cleaned = text.rstrip("uUlL")
+    if cleaned.lower().startswith("0x"):
+        return int(cleaned, 16)
+    if cleaned.startswith("0") and len(cleaned) > 1 and cleaned.isdigit():
+        return int(cleaned, 8)
+    return int(cleaned)
+
+
+def parse_float_literal(text: str) -> float:
+    """Parse a C floating point literal's value (drops suffixes)."""
+    return float(text.rstrip("fFlL"))
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+def unescape_string(text: str) -> str:
+    """Resolve escape sequences in the body of a string/char literal.
+
+    ``text`` must include the surrounding quotes.
+    """
+    body = text[1:-1]
+    out: List[str] = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\" and index + 1 < len(body):
+            out.append(_ESCAPES.get(body[index + 1], body[index + 1]))
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)

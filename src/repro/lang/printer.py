@@ -1,0 +1,255 @@
+"""Pretty printer: Mini-C AST → C source text.
+
+The printer produces conventional, human-readable C formatting (4-space
+indentation, one statement per line).  It is used to render ground-truth
+functions for the dataset, decompiler hypotheses, and synthesised
+declarations from the type-inference engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
+
+_INDENT = "    "
+
+
+def type_to_str(t: ct.CType, name: str = "") -> str:
+    """Render a type with an optional declarator name, C-style.
+
+    Handles the inside-out declarator syntax for pointers and arrays, e.g.
+    ``int *x[4]`` and ``char buf[16]``.
+    """
+    suffix = ""
+    prefix_name = name
+    # Peel arrays (outermost first in declaration syntax).
+    while isinstance(t, ct.ArrayType):
+        length = "" if t.length is None else str(t.length)
+        suffix += f"[{length}]"
+        t = t.element
+    stars = ""
+    while isinstance(t, ct.PointerType):
+        stars += "*"
+        t = t.pointee
+    base = str(t)
+    decl = f"{stars}{prefix_name}{suffix}" if (prefix_name or stars or suffix) else ""
+    if decl:
+        return f"{base} {decl}".rstrip()
+    return base
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render an expression."""
+    return _ExprPrinter().visit(expr)
+
+
+class _ExprPrinter:
+    def visit(self, expr: ast.Expr, parent_prec: int = 0) -> str:
+        method = getattr(self, f"_visit_{type(expr).__name__}", None)
+        if method is None:
+            raise NotImplementedError(f"cannot print {type(expr).__name__}")
+        return method(expr)
+
+    def _visit_IntLiteral(self, e: ast.IntLiteral) -> str:
+        return e.text if e.text is not None else str(e.value)
+
+    def _visit_FloatLiteral(self, e: ast.FloatLiteral) -> str:
+        if e.text is not None:
+            return e.text
+        text = repr(float(e.value))
+        return text
+
+    def _visit_CharLiteral(self, e: ast.CharLiteral) -> str:
+        return e.text if e.text is not None else f"'{chr(e.value)}'"
+
+    def _visit_StringLiteral(self, e: ast.StringLiteral) -> str:
+        if e.text is not None:
+            return e.text
+        escaped = e.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+
+    def _visit_Identifier(self, e: ast.Identifier) -> str:
+        return e.name
+
+    def _visit_BinaryOp(self, e: ast.BinaryOp) -> str:
+        left = self._paren_if_needed(e.left)
+        right = self._paren_if_needed(e.right)
+        if e.op == ",":
+            return f"{left}, {right}"
+        return f"{left} {e.op} {right}"
+
+    def _visit_UnaryOp(self, e: ast.UnaryOp) -> str:
+        operand = self._paren_if_needed(e.operand)
+        return f"{e.op}{operand}"
+
+    def _visit_PostfixOp(self, e: ast.PostfixOp) -> str:
+        operand = self._paren_if_needed(e.operand)
+        return f"{operand}{e.op}"
+
+    def _visit_Assignment(self, e: ast.Assignment) -> str:
+        return f"{self.visit(e.target)} {e.op} {self.visit(e.value)}"
+
+    def _visit_Conditional(self, e: ast.Conditional) -> str:
+        return (
+            f"{self._paren_if_needed(e.cond)} ? {self.visit(e.then)}"
+            f" : {self.visit(e.otherwise)}"
+        )
+
+    def _visit_Call(self, e: ast.Call) -> str:
+        args = ", ".join(self.visit(a) for a in e.args)
+        return f"{self.visit(e.func)}({args})"
+
+    def _visit_Index(self, e: ast.Index) -> str:
+        return f"{self._paren_if_needed(e.base)}[{self.visit(e.index)}]"
+
+    def _visit_Member(self, e: ast.Member) -> str:
+        op = "->" if e.arrow else "."
+        return f"{self._paren_if_needed(e.base)}{op}{e.field_name}"
+
+    def _visit_Cast(self, e: ast.Cast) -> str:
+        return f"({type_to_str(e.target_type)}){self._paren_if_needed(e.operand)}"
+
+    def _visit_SizeOf(self, e: ast.SizeOf) -> str:
+        if e.target_type is not None:
+            return f"sizeof({type_to_str(e.target_type)})"
+        return f"sizeof({self.visit(e.operand)})"
+
+    def _paren_if_needed(self, expr: ast.Expr) -> str:
+        text = self.visit(expr)
+        if isinstance(
+            expr,
+            (
+                ast.BinaryOp,
+                ast.Assignment,
+                ast.Conditional,
+                ast.Cast,
+            ),
+        ):
+            return f"({text})"
+        return text
+
+
+def print_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
+    """Render a statement as a list of source lines."""
+    pad = _INDENT * indent
+    printer = _ExprPrinter()
+
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for inner in stmt.stmts:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.ExprStmt):
+        return [pad + printer.visit(stmt.expr) + ";"]
+    if isinstance(stmt, ast.Declaration):
+        text = type_to_str(stmt.type, stmt.name)
+        if stmt.storage:
+            text = f"{stmt.storage} {text}"
+        if stmt.init is not None:
+            text += " = " + _print_initializer(stmt.init)
+        return [pad + text + ";"]
+    if isinstance(stmt, ast.If):
+        lines = [pad + f"if ({printer.visit(stmt.cond)})"]
+        lines.extend(_print_body(stmt.then, indent))
+        if stmt.otherwise is not None:
+            lines.append(pad + "else")
+            lines.extend(_print_body(stmt.otherwise, indent))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [pad + f"while ({printer.visit(stmt.cond)})"]
+        lines.extend(_print_body(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.DoWhile):
+        lines = [pad + "do"]
+        lines.extend(_print_body(stmt.body, indent))
+        lines.append(pad + f"while ({printer.visit(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.Declaration):
+            init = print_stmt(stmt.init)[0].rstrip(";")
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = printer.visit(stmt.init.expr)
+        cond = printer.visit(stmt.cond) if stmt.cond is not None else ""
+        step = printer.visit(stmt.step) if stmt.step is not None else ""
+        lines = [pad + f"for ({init}; {cond}; {step})"]
+        lines.extend(_print_body(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + f"return {printer.visit(stmt.value)};"]
+    if isinstance(stmt, ast.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, ast.EmptyStmt):
+        return [pad + ";"]
+    raise NotImplementedError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _print_body(stmt: ast.Stmt, indent: int) -> List[str]:
+    if isinstance(stmt, ast.Block):
+        return print_stmt(stmt, indent)
+    return print_stmt(stmt, indent + 1)
+
+
+def _print_initializer(node: ast.Node) -> str:
+    if isinstance(node, ast.InitializerList):
+        inner = ", ".join(_print_initializer(item) for item in node.items)
+        return "{" + inner + "}"
+    return _ExprPrinter().visit(node)  # type: ignore[arg-type]
+
+
+def print_typedef(decl: ast.TypedefDecl) -> str:
+    """Render a typedef, expanding struct bodies so the definition survives."""
+    t = decl.type
+    if isinstance(t, ct.StructType) and t.fields:
+        lines = [f"typedef struct {t.tag} {{"]
+        for f in t.fields:
+            lines.append(_INDENT + type_to_str(f.type, f.name) + ";")
+        lines.append(f"}} {decl.name};")
+        return "\n".join(lines)
+    return f"typedef {type_to_str(decl.type, decl.name)};"
+
+
+def print_function(func: ast.FunctionDef) -> str:
+    """Render a full function definition (or prototype)."""
+    params = ", ".join(type_to_str(p.type, p.name) for p in func.params)
+    if not params:
+        params = "void"
+    if func.variadic:
+        params += ", ..."
+    header = f"{type_to_str(func.return_type, func.name)}({params})"
+    if func.storage:
+        header = f"{func.storage} {header}"
+    if func.body is None:
+        return header + ";"
+    lines = [header] + print_stmt(func.body, 0)
+    return "\n".join(lines)
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole translation unit."""
+    chunks: List[str] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.FunctionDef):
+            chunks.append(print_function(decl))
+        elif isinstance(decl, ast.Declaration):
+            chunks.append("\n".join(print_stmt(decl, 0)))
+        elif isinstance(decl, ast.TypedefDecl):
+            chunks.append(print_typedef(decl))
+        elif isinstance(decl, ast.StructDecl):
+            lines = [f"struct {decl.tag} {{"]
+            for fname, ftype in decl.fields:
+                lines.append(_INDENT + type_to_str(ftype, fname) + ";")
+            lines.append("};")
+            chunks.append("\n".join(lines))
+        elif isinstance(decl, ast.Block):
+            chunks.append("\n".join(print_stmt(decl, 0)))
+        else:
+            raise NotImplementedError(f"cannot print top-level {type(decl).__name__}")
+    return "\n\n".join(chunks) + "\n"
