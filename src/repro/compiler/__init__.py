@@ -13,8 +13,48 @@ This package provides exactly that:
 * :mod:`repro.compiler.x86` / :mod:`repro.compiler.arm` — backends emitting
   an x86-64-style (AT&T syntax) and an AArch64-style assembly dialect.
 * :mod:`repro.compiler.driver` — the ``compile_function`` entry point.
+
+Re-exports are resolved lazily so that the submodules stay importable on
+their own (``import repro.compiler.lowering`` must not require the driver or
+the backends) and so a missing optional module degrades with a clear error
+instead of breaking the whole package at import time.
 """
 
-from repro.compiler.driver import CompileError, CompiledFunction, compile_function, compile_program
+from __future__ import annotations
 
-__all__ = ["compile_function", "compile_program", "CompiledFunction", "CompileError"]
+import importlib
+from typing import List
+
+#: Names re-exported from :mod:`repro.compiler.driver`.
+_DRIVER_EXPORTS = ("compile_function", "compile_program", "CompiledFunction", "CompileError")
+
+#: Submodules reachable as attributes (``repro.compiler.opt`` etc.).
+_SUBMODULES = ("arm", "driver", "ir", "lowering", "opt", "regalloc", "x86")
+
+__all__ = list(_DRIVER_EXPORTS)
+
+
+def _load(module: str):
+    try:
+        return importlib.import_module(f"repro.compiler.{module}")
+    except ModuleNotFoundError as exc:
+        raise ImportError(
+            f"repro.compiler.{module} is unavailable ({exc}); the rest of "
+            "repro.compiler (ir, lowering, opt, regalloc, ...) can still be "
+            "imported directly"
+        ) from exc
+
+
+def __getattr__(name: str):
+    if name in _DRIVER_EXPORTS:
+        value = getattr(_load("driver"), name)
+    elif name in _SUBMODULES:
+        value = _load(name)
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value  # cache so later lookups skip this hook
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_DRIVER_EXPORTS) | set(_SUBMODULES))

@@ -1,0 +1,202 @@
+"""The ``compile_function`` entry point: Mini-C source → assembly.
+
+This module plays the role GCC plays in the SLaDe paper: a deterministic
+producer of (C, assembly) pairs for two ISAs (x86-64 AT&T and AArch64) at
+two optimisation levels (-O0 and -O3).  The pipeline is
+
+    parse → typecheck → [-O3: AST opts] → lower → [-O3: IR opts]
+          → linear-scan regalloc → backend emission
+
+Any front-end or lowering failure is reported as :class:`CompileError`, the
+reproduction's equivalent of "GCC rejected the translation unit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.lowering import Lowerer, LoweringError
+from repro.compiler.opt import optimize_function_ast, optimize_ir
+from repro.compiler.regalloc import linear_scan
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import print_function
+from repro.lang.typecheck import TypeChecker
+
+#: Accepted spellings for the two ISAs.
+_ISA_ALIASES = {
+    "x86": "x86", "x86-64": "x86", "x86_64": "x86", "amd64": "x86",
+    "arm": "arm", "arm64": "arm", "aarch64": "arm",
+}
+#: Accepted spellings for the two optimisation levels.
+_OPT_ALIASES = {
+    "o0": "O0", "0": "O0", "-o0": "O0",
+    "o3": "O3", "3": "O3", "-o3": "O3",
+}
+
+ISAS: Tuple[str, ...] = ("x86", "arm")
+OPT_LEVELS: Tuple[str, ...] = ("O0", "O3")
+
+
+class CompileError(Exception):
+    """Raised when a program cannot be compiled (parse/type/lowering error)."""
+
+
+@dataclass
+class CompiledFunction:
+    """One (C, assembly) pair: a function compiled for one ISA/opt level."""
+
+    name: str
+    isa: str
+    opt_level: str
+    assembly: str
+    source: str
+    ir_text: str = field(default="", repr=False)
+
+    def __str__(self) -> str:
+        return self.assembly
+
+
+def _normalize_isa(isa: str) -> str:
+    key = str(isa).strip().lower()
+    if key not in _ISA_ALIASES:
+        raise CompileError(f"unknown ISA {isa!r}; expected one of {sorted(set(_ISA_ALIASES))}")
+    return _ISA_ALIASES[key]
+
+
+def _normalize_opt(opt_level: Union[str, int]) -> str:
+    key = str(opt_level).strip().lower()
+    if key not in _OPT_ALIASES:
+        raise CompileError(f"unknown optimisation level {opt_level!r}; expected O0 or O3")
+    return _OPT_ALIASES[key]
+
+
+def _backend(isa: str):
+    if isa == "x86":
+        from repro.compiler.x86 import X86Backend
+
+        return X86Backend()
+    from repro.compiler.arm import ArmBackend
+
+    return ArmBackend()
+
+
+def _parse(source: Union[str, ast.Program]) -> ast.Program:
+    if isinstance(source, ast.Program):
+        return source
+    try:
+        return parse_program(source)
+    except (ParseError, LexError) as exc:
+        raise CompileError(f"parse error: {exc}") from exc
+
+
+def _typecheck(program: ast.Program) -> None:
+    result = TypeChecker(program).check()
+    if result.errors:
+        raise CompileError("type error: " + "; ".join(result.errors[:5]))
+
+
+def _select_function(program: ast.Program, name: Optional[str]) -> ast.FunctionDef:
+    functions = program.functions()
+    if not functions:
+        raise CompileError("program defines no function with a body")
+    if name is None:
+        if len(functions) == 1:
+            return functions[0]
+        raise CompileError(
+            "program defines multiple functions; pass name= "
+            f"(one of {[f.name for f in functions]})"
+        )
+    func = program.function(name)
+    if func is None:
+        raise CompileError(f"no function named {name!r} with a body")
+    return func
+
+
+def compile_function(
+    source: Union[str, ast.Program],
+    name: Optional[str] = None,
+    isa: str = "x86",
+    opt_level: Union[str, int] = "O0",
+) -> CompiledFunction:
+    """Compile one function of a Mini-C program to assembly.
+
+    ``source`` is Mini-C source text (or an already-parsed
+    :class:`~repro.lang.ast_nodes.Program`); ``name`` selects the function
+    (optional when the program defines exactly one).  ``isa`` is ``"x86"``
+    or ``"arm"``; ``opt_level`` is ``"O0"`` or ``"O3"``.
+    """
+    isa = _normalize_isa(isa)
+    opt_level = _normalize_opt(opt_level)
+    program = _parse(source)
+    _typecheck(program)
+    func = _select_function(program, name)
+    c_source = print_function(func)
+
+    compiled_ast = func
+    if opt_level == "O3":
+        compiled_ast = optimize_function_ast(func)
+
+    lowerer = Lowerer(program, compiled_ast, promote_scalars=(opt_level == "O3"))
+    try:
+        ir_func, string_literals = lowerer.lower()
+    except LoweringError as exc:
+        raise CompileError(f"lowering error: {exc}") from exc
+    if opt_level == "O3":
+        optimize_ir(ir_func)
+
+    backend = _backend(isa)
+    allocation = linear_scan(
+        ir_func,
+        backend.int_registers(opt_level),
+        backend.float_registers(opt_level),
+    )
+
+    global_sizes: Dict[str, int] = {}
+    for global_name, global_type in lowerer.globals.items():
+        try:
+            global_sizes[global_name] = max(1, lowerer.resolve(global_type).sizeof())
+        except LoweringError:
+            continue
+
+    try:
+        assembly = backend.emit_function(ir_func, allocation, string_literals, global_sizes)
+    except NotImplementedError as exc:
+        raise CompileError(f"{isa} backend error: {exc}") from exc
+    return CompiledFunction(
+        name=ir_func.name,
+        isa=isa,
+        opt_level=opt_level,
+        assembly=assembly,
+        source=c_source,
+        ir_text=str(ir_func),
+    )
+
+
+def compile_program(
+    source: Union[str, ast.Program],
+    isas: Tuple[str, ...] = ISAS,
+    opt_levels: Tuple[str, ...] = OPT_LEVELS,
+) -> Dict[str, Dict[Tuple[str, str], CompiledFunction]]:
+    """Compile every function of a program for ``isas`` × ``opt_levels``.
+
+    Returns ``{function_name: {(isa, opt_level): CompiledFunction}}`` — one
+    call yields the full pair grid the training/eval set is built from.
+    """
+    program = _parse(source)
+    _typecheck(program)
+    results: Dict[str, Dict[Tuple[str, str], CompiledFunction]] = {}
+    for func in program.functions():
+        grid: Dict[Tuple[str, str], CompiledFunction] = {}
+        for isa in isas:
+            for opt_level in opt_levels:
+                grid[(_normalize_isa(isa), _normalize_opt(opt_level))] = compile_function(
+                    program, name=func.name, isa=isa, opt_level=opt_level
+                )
+        results[func.name] = grid
+    return results
+
+
+__all__: List[str] = ["CompileError", "CompiledFunction", "compile_function", "compile_program"]

@@ -17,10 +17,11 @@ The -O0 pipeline applies none of these.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.compiler import ir
 from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
 
 UNROLL_FACTOR = 4
 
@@ -36,7 +37,8 @@ def fold_constants_expr(expr: ast.Expr) -> ast.Expr:
         expr.left = fold_constants_expr(expr.left)
         expr.right = fold_constants_expr(expr.right)
         if isinstance(expr.left, ast.IntLiteral) and isinstance(expr.right, ast.IntLiteral):
-            folded = _fold_int(expr.op, expr.left.value, expr.right.value)
+            bits, unsigned = _fold_width(expr)
+            folded = _fold_int(expr.op, expr.left.value, expr.right.value, bits, unsigned)
             if folded is not None:
                 return ast.IntLiteral(folded)
         if isinstance(expr.left, (ast.IntLiteral, ast.FloatLiteral)) and isinstance(
@@ -71,46 +73,61 @@ def fold_constants_expr(expr: ast.Expr) -> ast.Expr:
     return expr
 
 
-def _fold_int(op: str, left: int, right: int) -> Optional[int]:
+def _literal_int_type(expr: ast.Expr) -> ct.IntType:
+    """The type an integer literal takes (mirrors lowering's literal rule)."""
+    if isinstance(expr.ctype, ct.IntType):
+        return expr.ctype
+    if isinstance(expr, ast.IntLiteral) and abs(expr.value) > 0x7FFFFFFF:
+        return ct.LONG
+    return ct.INT
+
+
+def _fold_width(expr: ast.BinaryOp) -> Tuple[int, bool]:
+    """Width (in bits) and signedness an integer fold of ``expr`` wraps to.
+
+    Shifts take the promoted left operand's type; everything else takes the
+    usual arithmetic conversion of both operands — the same rules the
+    interpreter applies, so folding cannot change observable behaviour.
+    """
+    left = ct.integer_promote(_literal_int_type(expr.left))
+    if expr.op in ("<<", ">>"):
+        result = left
+    else:
+        result = ct.usual_arithmetic_conversion(
+            left, ct.integer_promote(_literal_int_type(expr.right))
+        )
+    if not isinstance(result, ct.IntType):
+        return 64, False
+    return 8 * result.sizeof(), result.unsigned
+
+
+def _fold_int(
+    op: str, left: int, right: int, bits: int = 32, unsigned: bool = False
+) -> Optional[int]:
+    """Fold an integer operation, wrapping to ``bits``-wide (un)signed ints.
+
+    Delegates to :func:`repro.lang.ctypes.int_binop`, the same routine the
+    interpreter uses, so folds agree with its wrapped semantics by
+    construction: operands are converted into the type's domain, shift
+    counts are masked by the type width (``& 31`` for 32-bit operands,
+    ``& 63`` for 64-bit) and results are truncated to the expression's
+    width (e.g. ``1 << 33`` folds to ``2`` as an ``int``, not
+    ``8589934592``).
+    """
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        table = {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }
+        return int(table[op])
     try:
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/" and right != 0:
-            q = abs(left) // abs(right)
-            return q if (left >= 0) == (right >= 0) else -q
-        if op == "%" and right != 0:
-            q = abs(left) // abs(right)
-            signed = q if (left >= 0) == (right >= 0) else -q
-            return left - signed * right
-        if op == "<<":
-            return left << (right & 63)
-        if op == ">>":
-            return left >> (right & 63)
-        if op == "&":
-            return left & right
-        if op == "|":
-            return left | right
-        if op == "^":
-            return left ^ right
-        if op == "==":
-            return int(left == right)
-        if op == "!=":
-            return int(left != right)
-        if op == "<":
-            return int(left < right)
-        if op == "<=":
-            return int(left <= right)
-        if op == ">":
-            return int(left > right)
-        if op == ">=":
-            return int(left >= right)
-    except (OverflowError, ValueError):
+        return ct.int_binop(op, left, right, bits, unsigned)
+    except (ZeroDivisionError, OverflowError, ValueError):
         return None
-    return None
 
 
 def _fold_float(op: str, left: float, right: float) -> Optional[float]:
@@ -285,14 +302,21 @@ def unroll_loops(stmt: ast.Stmt, factor: int = UNROLL_FACTOR) -> ast.Stmt:
         else:
             replacement = ast.BinaryOp("+", copy.deepcopy(index), ast.IntLiteral(offset))
         bodies.append(_substitute_var(stmt.body, name, replacement))  # type: ignore[arg-type]
-    main_loop = ast.For(stmt.init, main_cond, main_step, ast.Block(bodies))
+    # Hoist a declaration out of the init so the induction variable stays in
+    # scope for the remainder loop.
+    prelude: List[ast.Stmt] = []
+    main_init = stmt.init
+    if isinstance(stmt.init, ast.Declaration):
+        prelude.append(stmt.init)
+        main_init = None
+    main_loop = ast.For(main_init, main_cond, main_step, ast.Block(bodies))
     remainder = ast.For(
         None,
         copy.deepcopy(stmt.cond),
         copy.deepcopy(stmt.step),
         copy.deepcopy(stmt.body),
     )
-    return ast.Block([main_loop, remainder])
+    return ast.Block(prelude + [main_loop, remainder])
 
 
 def optimize_function_ast(func: ast.FunctionDef, unroll: bool = True) -> ast.FunctionDef:
@@ -384,7 +408,10 @@ def _fold_ir_binop(instr: ir.IRBinOp) -> Optional[ir.IRInstr]:
         if instr.is_float:
             value = _fold_float(_IR_TO_C[instr.op], float(instr.left), float(instr.right))
         else:
-            value = _fold_int(_IR_TO_C[instr.op], int(instr.left), int(instr.right))
+            # IR virtual registers are 64-bit; fold at full register width.
+            value = _fold_int(
+                _IR_TO_C[instr.op], int(instr.left), int(instr.right), 64, instr.unsigned
+            )
         if value is not None:
             return ir.IRConst(instr.dst, value)
     # Algebraic identities.
@@ -443,16 +470,31 @@ def _strength_reduce(instr: ir.IRBinOp) -> None:
             instr.right = shift
 
 
+def _referenced_labels(func: ir.IRFunction) -> Set[str]:
+    referenced: Set[str] = set()
+    for instr in func.instrs:
+        if isinstance(instr, ir.IRJump):
+            referenced.add(instr.target)
+        elif isinstance(instr, ir.IRBranch):
+            referenced.add(instr.true_target)
+            referenced.add(instr.false_target)
+    return referenced
+
+
 def dead_code_elimination(func: ir.IRFunction) -> None:
-    """Remove pure instructions whose results are never used."""
+    """Remove pure instructions whose results (or labels) are never used."""
     changed = True
     while changed:
         changed = False
         used: Set[ir.VReg] = set()
         for instr in func.instrs:
             used.update(instr.uses())
+        referenced = _referenced_labels(func)
         kept: List[ir.IRInstr] = []
         for instr in func.instrs:
+            if isinstance(instr, ir.IRLabel) and instr.name not in referenced:
+                changed = True
+                continue
             removable = isinstance(
                 instr, (ir.IRConst, ir.IRMove, ir.IRBinOp, ir.IRCmp, ir.IRUnary, ir.IRCast,
                         ir.IRFrameAddr, ir.IRGlobalAddr, ir.IRLoad)
@@ -466,12 +508,23 @@ def dead_code_elimination(func: ir.IRFunction) -> None:
 
 
 def remove_redundant_jumps(func: ir.IRFunction) -> None:
-    """Drop jumps to the immediately-following label."""
+    """Drop jumps whose target is reached by falling through.
+
+    A jump is redundant when its target label follows it with only other
+    labels in between, so chains like ``jmp L1; L0:; L1:`` are cleaned up
+    too, not just ``jmp L1; L1:``.
+    """
     kept: List[ir.IRInstr] = []
     for index, instr in enumerate(func.instrs):
         if isinstance(instr, ir.IRJump):
-            nxt = func.instrs[index + 1] if index + 1 < len(func.instrs) else None
-            if isinstance(nxt, ir.IRLabel) and nxt.name == instr.target:
+            scan = index + 1
+            redundant = False
+            while scan < len(func.instrs) and isinstance(func.instrs[scan], ir.IRLabel):
+                if func.instrs[scan].name == instr.target:  # type: ignore[attr-defined]
+                    redundant = True
+                    break
+                scan += 1
+            if redundant:
                 continue
         kept.append(instr)
     func.instrs = kept
@@ -483,3 +536,6 @@ def optimize_ir(func: ir.IRFunction) -> None:
         local_fold_and_propagate(func)
         dead_code_elimination(func)
     remove_redundant_jumps(func)
+    # Jump removal can leave labels with no remaining references behind;
+    # re-running DCE prunes them.
+    dead_code_elimination(func)

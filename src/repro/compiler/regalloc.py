@@ -37,6 +37,15 @@ class Allocation:
             return "reg", self.register_of[reg]
         return "spill", self.spill_slot_of[reg]
 
+    def used_registers(self, ordering: Sequence[str]) -> List[str]:
+        """Physical registers this allocation uses, in ``ordering`` order.
+
+        Backends save/restore exactly these (callee-saved) registers in the
+        prologue/epilogue, so the order must be deterministic.
+        """
+        used = set(self.register_of.values())
+        return [reg for reg in ordering if reg in used]
+
 
 def compute_live_ranges(func: ir.IRFunction) -> List[LiveRange]:
     """Compute conservative linear live ranges.

@@ -288,6 +288,52 @@ def integer_promote(t: CType) -> CType:
     return t
 
 
+def int_binop(op: str, left: int, right: int, bits: int = 64, unsigned: bool = False) -> int:
+    """Apply a C integer operator at a fixed width with wrapped semantics.
+
+    This is the single source of truth shared by the interpreter
+    (:func:`repro.lang.interpreter.apply_binary`) and the compiler's
+    constant folder (:mod:`repro.compiler.opt`), so the two cannot drift.
+    Operands are first converted into the type's domain (so ``-1`` becomes
+    ``2**bits - 1`` when ``unsigned``), division truncates toward zero,
+    shift counts are masked by the width, and the result wraps to the
+    width.  Raises :class:`ZeroDivisionError` for ``/ 0`` and ``% 0``.
+    """
+    t = IntType("int" if bits == 32 else "long", unsigned=unsigned)
+    li = t.wrap(int(left))
+    ri = t.wrap(int(right))
+    if op == "+":
+        result = li + ri
+    elif op == "-":
+        result = li - ri
+    elif op == "*":
+        result = li * ri
+    elif op == "/":
+        if ri == 0:
+            raise ZeroDivisionError("integer division by zero")
+        quotient = abs(li) // abs(ri)
+        result = quotient if (li >= 0) == (ri >= 0) else -quotient
+    elif op == "%":
+        if ri == 0:
+            raise ZeroDivisionError("integer modulo by zero")
+        quotient = abs(li) // abs(ri)
+        signed_quotient = quotient if (li >= 0) == (ri >= 0) else -quotient
+        result = li - signed_quotient * ri
+    elif op == "<<":
+        result = li << (ri & (bits - 1))
+    elif op == ">>":
+        result = li >> (ri & (bits - 1))
+    elif op == "&":
+        result = li & ri
+    elif op == "|":
+        result = li | ri
+    elif op == "^":
+        result = li ^ ri
+    else:
+        raise ValueError(f"unsupported integer operator {op!r}")
+    return t.wrap(result)
+
+
 def types_compatible(a: CType, b: CType) -> bool:
     """Loose compatibility check used for assignments and calls."""
     a = decay(a)

@@ -886,8 +886,11 @@ def apply_binary(
 ) -> Union[int, float]:
     """Apply a C binary operator with (simplified) C semantics.
 
-    Integer division truncates toward zero, shifts and bitwise operators use
-    integer operands, and comparison operators return 0/1.
+    Integer division truncates toward zero, comparison operators return 0/1,
+    and integer results wrap at the width of the operation's common type
+    (shifts use the promoted left operand's type and mask the shift count by
+    that width, matching what the hardware — and the compiler's constant
+    folder in :mod:`repro.compiler.opt` — does).
     """
     is_float = (
         isinstance(left_type, ct.FloatType)
@@ -900,8 +903,8 @@ def apply_binary(
             "==": left == right,
             "!=": left != right,
             "<": left < right,
-            ">": left > right,
             "<=": left <= right,
+            ">": left > right,
             ">=": left >= right,
         }
         return 1 if table[op] else 0
@@ -916,7 +919,33 @@ def apply_binary(
         if rf == 0.0:
             raise CInterpreterError("floating point division by zero")
         return lf / rf
+
+    # The type the integer operation is performed in.  Pointers and unknown
+    # types keep the historical 64-bit behaviour (addresses are plain
+    # Python ints that must not be wrapped).
+    wrap_type: Optional[ct.IntType] = None
+    if isinstance(left_type, ct.IntType):
+        promoted_left = ct.integer_promote(left_type)
+        if op in ("<<", ">>"):
+            wrap_type = promoted_left if isinstance(promoted_left, ct.IntType) else None
+        elif isinstance(right_type, ct.IntType):
+            common = ct.usual_arithmetic_conversion(
+                promoted_left, ct.integer_promote(right_type)
+            )
+            wrap_type = common if isinstance(common, ct.IntType) else None
+
     li, ri = int(left), int(right)
+    if wrap_type is not None:
+        try:
+            # Shared with the compiler's constant folder (repro.compiler.opt)
+            # so -O3 folds and interpretation agree by construction.
+            return ct.int_binop(
+                op, li, ri, 8 * wrap_type.sizeof(), wrap_type.unsigned
+            )
+        except ZeroDivisionError as exc:
+            raise CInterpreterError(str(exc)) from exc
+        except ValueError as exc:
+            raise CInterpreterError(f"unsupported binary operator {op!r}") from exc
     if op == "+":
         return li + ri
     if op == "-":

@@ -1,0 +1,9 @@
+"""Make ``src/`` importable so plain ``python -m pytest`` works without the
+``PYTHONPATH=src`` incantation."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,334 @@
+"""Mini-C corpus shared by the differential and backend smoke tests.
+
+Each entry is ``(program_source, function_name, inputs)`` where ``inputs``
+is a list of argument tuples the function is executed on.  The functions
+deliberately exercise the features the SLaDe evaluation leans on: counted
+loops (so -O3 unrolling kicks in), pointers and out-parameters, structs,
+signed division/modulo, shifts, floats and globals.
+"""
+
+CORPUS = [
+    (
+        """
+int sum_to(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    return s;
+}
+""",
+        "sum_to",
+        [(0,), (1,), (7,), (100,)],
+    ),
+    (
+        """
+long dot(int *a, int *b, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+""",
+        "dot",
+        [([1, 2, 3, 4, 5], [5, 4, 3, 2, 1], 5), ([-7, 9], [3, -2], 2)],
+    ),
+    (
+        """
+void reverse(int *a, int n) {
+    int i = 0;
+    int j = n - 1;
+    while (i < j) {
+        int tmp = a[i];
+        a[i] = a[j];
+        a[j] = tmp;
+        i++;
+        j--;
+    }
+}
+""",
+        "reverse",
+        [([1, 2, 3, 4, 5, 6], 6), ([10], 1), ([4, 8], 2)],
+    ),
+    (
+        """
+int fib(int n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i++) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+""",
+        "fib",
+        [(0,), (1,), (10,), (20,)],
+    ),
+    (
+        """
+int divmod_mix(int a, int b) {
+    if (b == 0) {
+        return -1;
+    }
+    return a / b * 1000 + a % b;
+}
+""",
+        "divmod_mix",
+        [(17, 5), (-17, 5), (17, -5), (-17, -5), (42, 0)],
+    ),
+    (
+        """
+int shifty(int x, int s) {
+    return (x << (s & 7)) ^ (x >> 1);
+}
+""",
+        "shifty",
+        [(1, 3), (255, 7), (-64, 2), (1024, 33)],
+    ),
+    (
+        """
+typedef struct Point {
+    int x;
+    int y;
+} Point;
+
+int manhattan(Point *p, Point *q) {
+    int dx = p->x - q->x;
+    int dy = p->y - q->y;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    return dx + dy;
+}
+""",
+        "manhattan",
+        [({"x": 1, "y": 2}, {"x": 4, "y": 6}), ({"x": -3, "y": 0}, {"x": 3, "y": -4})],
+    ),
+    (
+        """
+typedef struct Point {
+    int x;
+    int y;
+} Point;
+
+void scale_point(Point *p, int k) {
+    p->x = p->x * k;
+    p->y = p->y * k;
+}
+""",
+        "scale_point",
+        [({"x": 3, "y": -2}, 5), ({"x": 0, "y": 7}, -1)],
+    ),
+    (
+        """
+int my_strlen(char *s) {
+    int n = 0;
+    while (s[n] != 0) {
+        n++;
+    }
+    return n;
+}
+""",
+        "my_strlen",
+        [("hello",), ("",), ("a longer string with spaces",)],
+    ),
+    (
+        """
+int count_eq(char *s, int c) {
+    int n = 0;
+    for (int i = 0; s[i] != 0; i++) {
+        if (s[i] == c) {
+            n++;
+        }
+    }
+    return n;
+}
+""",
+        "count_eq",
+        [("banana", 97), ("mississippi", 115), ("", 120)],
+    ),
+    (
+        """
+int max_of(int *a, int n) {
+    int best = a[0];
+    for (int i = 1; i < n; i++) {
+        if (a[i] > best) {
+            best = a[i];
+        }
+    }
+    return best;
+}
+""",
+        "max_of",
+        [([3, 1, 4, 1, 5, 9, 2, 6], 8), ([-5, -2, -9], 3)],
+    ),
+    (
+        """
+void bubble_sort(int *a, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j + 1 < n - i; j++) {
+            if (a[j] > a[j + 1]) {
+                int tmp = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = tmp;
+            }
+        }
+    }
+}
+""",
+        "bubble_sort",
+        [([5, 2, 9, 1, 7, 3], 6), ([2, 1], 2), ([4], 1)],
+    ),
+    (
+        """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+""",
+        "gcd",
+        [(12, 18), (17, 5), (100, 75), (7, 0)],
+    ),
+    (
+        """
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1 && steps < 1000) {
+        if (n % 2 == 0) {
+            n = n >> 1;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps++;
+    }
+    return steps;
+}
+""",
+        "collatz_steps",
+        [(1,), (6,), (27,)],
+    ),
+    (
+        """
+double avg(int *a, int n) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) {
+        total = total + a[i];
+    }
+    if (n == 0) {
+        return 0.0;
+    }
+    return total / n;
+}
+""",
+        "avg",
+        [([1, 2, 3, 4], 4), ([10, -10, 30], 3), ([], 0)],
+    ),
+    (
+        """
+double poly(double x) {
+    return 3.0 * x * x - 2.0 * x + 1.5;
+}
+""",
+        "poly",
+        [(0.0,), (1.0,), (-2.5,), (10.0,)],
+    ),
+    (
+        """
+int clamp(int x, int lo, int hi) {
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+""",
+        "clamp",
+        [(5, 0, 10), (-5, 0, 10), (15, 0, 10)],
+    ),
+    (
+        """
+int sum_ptr(int *a, int n) {
+    int s = 0;
+    int *p = a;
+    while (n > 0) {
+        s += *p;
+        p++;
+        n--;
+    }
+    return s;
+}
+""",
+        "sum_ptr",
+        [([1, 2, 3, 4, 5], 5), ([-1, 1], 2), ([], 0)],
+    ),
+    (
+        """
+int counter;
+
+int bump(int k) {
+    counter += k;
+    return counter * 2;
+}
+""",
+        "bump",
+        [(1,), (5,), (-2,)],
+    ),
+    (
+        """
+unsigned int uwrap(unsigned int a, unsigned int b) {
+    return a * b + 7;
+}
+""",
+        "uwrap",
+        [(65535, 65537), (4000000000, 2), (3, 5)],
+    ),
+    (
+        """
+int skip_sum(int *a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] < 0) {
+            continue;
+        }
+        if (a[i] > 100) {
+            break;
+        }
+        s += a[i];
+    }
+    return s;
+}
+""",
+        "skip_sum",
+        [([1, -2, 3, 200, 4], 5), ([50, 60, -70], 3)],
+    ),
+    (
+        """
+int grid_sum(int *m, int rows, int cols) {
+    int s = 0;
+    for (int i = 0; i < rows; i++) {
+        for (int j = 0; j < cols; j++) {
+            s += m[i * cols + j];
+        }
+    }
+    return s;
+}
+""",
+        "grid_sum",
+        [([1, 2, 3, 4, 5, 6], 2, 3), ([7], 1, 1)],
+    ),
+    (
+        """
+int wrap_shift(int n) {
+    return (1 << 33) + n;
+}
+""",
+        "wrap_shift",
+        [(0,), (5,), (-2,)],
+    ),
+]

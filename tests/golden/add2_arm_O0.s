@@ -1,0 +1,43 @@
+	.arch	armv8-a
+	.file	"add2.c"
+	.text
+	.align	2
+	.global	add2
+	.type	add2, %function
+add2:
+	stp	x29, x30, [sp, #-16]!
+	mov	x29, sp
+	sub	sp, sp, #80
+	str	x0, [sp, #16]
+	str	x1, [sp, #24]
+	mov	x9, sp
+	str	x9, [sp, #32]
+	ldr	x9, [sp, #16]
+	ldr	x10, [sp, #32]
+	str	w9, [x10]
+	add	x9, sp, #8
+	str	x9, [sp, #40]
+	ldr	x9, [sp, #24]
+	ldr	x10, [sp, #40]
+	str	w9, [x10]
+	ldr	x10, [sp, #32]
+	ldrsw	x9, [x10]
+	str	x9, [sp, #48]
+	ldr	x10, [sp, #40]
+	ldrsw	x9, [x10]
+	str	x9, [sp, #56]
+	ldr	x9, [sp, #48]
+	ldr	x10, [sp, #56]
+	add	x9, x9, x10
+	str	x9, [sp, #64]
+	ldr	x9, [sp, #64]
+	mov	x10, #2
+	add	x9, x9, x10
+	str	x9, [sp, #72]
+	ldr	x0, [sp, #72]
+.Lret_add2:
+	add	sp, sp, #80
+	ldp	x29, x30, [sp], #16
+	ret
+	.size	add2, .-add2
+	.section	.note.GNU-stack,"",%progbits

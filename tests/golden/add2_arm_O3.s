@@ -1,0 +1,35 @@
+	.arch	armv8-a
+	.file	"add2.c"
+	.text
+	.align	2
+	.global	add2
+	.type	add2, %function
+add2:
+	stp	x29, x30, [sp, #-16]!
+	mov	x29, sp
+	sub	sp, sp, #32
+	str	x19, [sp, #0]
+	str	x20, [sp, #8]
+	str	x21, [sp, #16]
+	str	x22, [sp, #24]
+	mov	x19, x0
+	mov	x20, x1
+	mov	x9, x19
+	mov	x10, x20
+	add	x9, x9, x10
+	mov	x21, x9
+	mov	x9, x21
+	mov	x10, #2
+	add	x9, x9, x10
+	mov	x22, x9
+	mov	x0, x22
+.Lret_add2:
+	ldr	x19, [sp, #0]
+	ldr	x20, [sp, #8]
+	ldr	x21, [sp, #16]
+	ldr	x22, [sp, #24]
+	add	sp, sp, #32
+	ldp	x29, x30, [sp], #16
+	ret
+	.size	add2, .-add2
+	.section	.note.GNU-stack,"",%progbits

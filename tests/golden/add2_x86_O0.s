@@ -1,0 +1,40 @@
+	.file	"add2.c"
+	.text
+	.globl	add2
+	.type	add2, @function
+add2:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	subq	$80, %rsp
+	movq	%rdi, -24(%rbp)
+	movq	%rsi, -32(%rbp)
+	leaq	-8(%rbp), %r10
+	movq	%r10, -40(%rbp)
+	movq	-24(%rbp), %r10
+	movq	-40(%rbp), %r11
+	movl	%r10d, (%r11)
+	leaq	-16(%rbp), %r10
+	movq	%r10, -48(%rbp)
+	movq	-32(%rbp), %r10
+	movq	-48(%rbp), %r11
+	movl	%r10d, (%r11)
+	movq	-40(%rbp), %r11
+	movslq	(%r11), %r10
+	movq	%r10, -56(%rbp)
+	movq	-48(%rbp), %r11
+	movslq	(%r11), %r10
+	movq	%r10, -64(%rbp)
+	movq	-56(%rbp), %r10
+	movq	-64(%rbp), %r11
+	addq	%r11, %r10
+	movq	%r10, -72(%rbp)
+	movq	-72(%rbp), %r10
+	movq	$2, %r11
+	addq	%r11, %r10
+	movq	%r10, -80(%rbp)
+	movq	-80(%rbp), %rax
+.Lret_add2:
+	leave
+	ret
+	.size	add2, .-add2
+	.section	.note.GNU-stack,"",@progbits

@@ -1,0 +1,32 @@
+	.file	"add2.c"
+	.text
+	.globl	add2
+	.type	add2, @function
+add2:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	subq	$32, %rsp
+	movq	%rbx, -8(%rbp)
+	movq	%r12, -16(%rbp)
+	movq	%r13, -24(%rbp)
+	movq	%r14, -32(%rbp)
+	movq	%rdi, %rbx
+	movq	%rsi, %r12
+	movq	%rbx, %r10
+	movq	%r12, %r11
+	addq	%r11, %r10
+	movq	%r10, %r13
+	movq	%r13, %r10
+	movq	$2, %r11
+	addq	%r11, %r10
+	movq	%r10, %r14
+	movq	%r14, %rax
+.Lret_add2:
+	movq	-8(%rbp), %rbx
+	movq	-16(%rbp), %r12
+	movq	-24(%rbp), %r13
+	movq	-32(%rbp), %r14
+	leave
+	ret
+	.size	add2, .-add2
+	.section	.note.GNU-stack,"",@progbits

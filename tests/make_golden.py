@@ -1,0 +1,30 @@
+"""Regenerate the golden assembly files used by test_backends.py.
+
+Run from the repository root:
+
+    python tests/make_golden.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compiler import compile_function  # noqa: E402
+
+SOURCE = "int add2(int a, int b) { return a + b + 2; }\n"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for isa in ("x86", "arm"):
+        for opt in ("O0", "O3"):
+            compiled = compile_function(SOURCE, isa=isa, opt_level=opt)
+            path = GOLDEN_DIR / f"add2_{isa}_{opt}.s"
+            path.write_text(compiled.assembly)
+            print(f"wrote {path} ({len(compiled.assembly.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

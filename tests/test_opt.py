@@ -1,0 +1,120 @@
+"""Unit tests for the -O3 optimisation passes fixed in this PR."""
+
+from repro.compiler import ir
+from repro.compiler.opt import (
+    _fold_int,
+    dead_code_elimination,
+    fold_constants_expr,
+    optimize_ir,
+    remove_redundant_jumps,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import parse_program
+
+
+# -- width-aware constant folding -------------------------------------------
+
+
+def test_fold_int_masks_shift_count_by_width():
+    # 32-bit ints mask the count with & 31 (1 << 33 == 1 << 1), 64-bit with & 63.
+    assert _fold_int("<<", 1, 33, bits=32) == 2
+    assert _fold_int("<<", 1, 33, bits=64) == 1 << 33
+
+
+def test_fold_int_truncates_to_width():
+    assert _fold_int("+", 2000000000, 2000000000, bits=32) == -294967296
+    assert _fold_int("*", 1 << 20, 1 << 20, bits=32) == 0
+    assert _fold_int("+", 2000000000, 2000000000, bits=64) == 4000000000
+    # Unsigned stays non-negative.
+    assert _fold_int("-", 0, 1, bits=32, unsigned=True) == 0xFFFFFFFF
+
+
+def test_fold_int_unsigned_operand_domain():
+    # Negative-represented constants are converted into the unsigned domain
+    # BEFORE the operation: -1 >> 1 as uint64 is a logical shift of 2**64-1.
+    assert _fold_int(">>", -1, 1, bits=64, unsigned=True) == (1 << 63) - 1
+    assert _fold_int("/", -1, 2, bits=64, unsigned=True) == (1 << 63) - 1
+    assert _fold_int("%", -1, 10, bits=32, unsigned=True) == 0xFFFFFFFF % 10
+    # Signed semantics are untouched.
+    assert _fold_int(">>", -8, 1, bits=32) == -4
+    assert _fold_int("/", -7, 2, bits=32) == -3
+
+
+def test_fold_matches_interpreter():
+    """The folded literal must equal what the interpreter computes."""
+    cases = ["1 << 33", "2000000000 + 2000000000", "-17 / 5", "-17 % 5", "7 >> 1"]
+    for expr_text in cases:
+        program = parse_program(f"long f(void) {{ return {expr_text}; }}")
+        expected = Interpreter(program).run_function("f", []).return_value
+
+        folded_program = parse_program(f"long f(void) {{ return {expr_text}; }}")
+        body = folded_program.function("f").body
+        ret = body.stmts[0]
+        ret.value = fold_constants_expr(ret.value)
+        assert isinstance(ret.value, ast.IntLiteral), f"{expr_text} did not fold"
+        folded = Interpreter(folded_program).run_function("f", []).return_value
+        assert folded == expected, f"{expr_text}: folded {folded} != interpreted {expected}"
+
+
+def test_fold_shift_example_from_issue():
+    program = parse_program("int f(void) { return 1 << 33; }")
+    ret = program.function("f").body.stmts[0]
+    folded = fold_constants_expr(ret.value)
+    assert isinstance(folded, ast.IntLiteral)
+    assert folded.value == 2  # int-width shift: 1 << (33 & 31)
+
+
+# -- jump threading ----------------------------------------------------------
+
+
+def _func_with(instrs):
+    func = ir.IRFunction("f")
+    func.instrs = instrs
+    return func
+
+
+def test_remove_jump_to_immediate_label():
+    func = _func_with([ir.IRJump(".L1"), ir.IRLabel(".L1"), ir.IRRet(None)])
+    remove_redundant_jumps(func)
+    assert not any(isinstance(i, ir.IRJump) for i in func.instrs)
+
+
+def test_remove_jump_skips_intervening_labels():
+    # jmp L1; L0:; L1: — the jump is redundant even though L0 sits in between.
+    func = _func_with(
+        [ir.IRJump(".L1"), ir.IRLabel(".L0"), ir.IRLabel(".L1"), ir.IRRet(None)]
+    )
+    remove_redundant_jumps(func)
+    assert not any(isinstance(i, ir.IRJump) for i in func.instrs)
+
+
+def test_backward_jump_is_kept():
+    func = _func_with([ir.IRLabel(".L0"), ir.IRJump(".L0")])
+    remove_redundant_jumps(func)
+    assert any(isinstance(i, ir.IRJump) for i in func.instrs)
+
+
+def test_dce_drops_unreferenced_labels():
+    func = _func_with(
+        [ir.IRJump(".L1"), ir.IRLabel(".L0"), ir.IRLabel(".L1"), ir.IRRet(None)]
+    )
+    remove_redundant_jumps(func)
+    dead_code_elimination(func)
+    assert not any(isinstance(i, ir.IRLabel) for i in func.instrs)
+
+
+def test_optimize_ir_cleans_jump_chains():
+    v = ir.VReg(0)
+    func = _func_with(
+        [
+            ir.IRConst(v, 1),
+            ir.IRJump(".L1"),
+            ir.IRLabel(".L0"),
+            ir.IRLabel(".L1"),
+            ir.IRRet(v),
+        ]
+    )
+    optimize_ir(func)
+    assert not any(isinstance(i, (ir.IRJump, ir.IRLabel)) for i in func.instrs)
+    assert isinstance(func.instrs[-1], ir.IRRet)
