@@ -107,9 +107,15 @@ class _Emitter:
         offset = 0
         self.slot_offsets: Dict[str, int] = {}
         for slot in self.func.slots.values():
+            size = max(slot.size, 1)
+            # Narrow spill slots pack at their natural alignment; anything
+            # larger than a word (arrays, structs) stays 8-byte aligned.
+            align = size if size in (1, 2, 4) else 8
+            offset = -(-offset // align) * align
             self.slot_offsets[slot.name] = offset
             slot.offset = offset
-            offset += (max(slot.size, 1) + 7) & ~7
+            offset += size
+        offset = (offset + 7) & ~7
         self.save_offsets: Dict[str, int] = {}
         for reg in list(self.saved_int) + list(self.saved_float):
             self.save_offsets[reg] = offset
@@ -170,13 +176,29 @@ class _Emitter:
             amount -= step
 
     def read_int(self, operand: ir.Operand, scratch: str) -> str:
+        """Materialise an integer operand in ``scratch`` and return it.
+
+        Values in physical registers are kept fully extended; narrow spill
+        slots are reloaded with the matching sign-/zero-extending load.
+        """
         if isinstance(operand, ir.VReg):
             kind, name = self.allocation.location(operand)
             if kind == "reg":
                 if name != scratch:
                     self.op(f"mov\t{scratch}, {name}")
             else:
-                self.op(f"ldr\t{scratch}, [sp, #{self.slot_offsets[name]}]")
+                mem = f"[sp, #{self.slot_offsets[name]}]"
+                size = max(1, operand.bits // 8)
+                if size == 8:
+                    self.op(f"ldr\t{scratch}, {mem}")
+                else:
+                    mnemonic = {
+                        (1, False): "ldrsb", (1, True): "ldrb",
+                        (2, False): "ldrsh", (2, True): "ldrh",
+                        (4, False): "ldrsw", (4, True): "ldr",
+                    }[(size, operand.unsigned)]
+                    dest = scratch if not operand.unsigned else _w(scratch)
+                    self.op(f"{mnemonic}\t{dest}, {mem}")
         else:
             self._mov_imm(scratch, int(operand))
         return scratch
@@ -187,7 +209,10 @@ class _Emitter:
             if name != scratch:
                 self.op(f"mov\t{name}, {scratch}")
         else:
-            self.op(f"str\t{scratch}, [sp, #{self.slot_offsets[name]}]")
+            size = max(1, dst.bits // 8)
+            mnemonic = {1: "strb", 2: "strh", 4: "str", 8: "str"}[size]
+            reg = scratch if size == 8 else _w(scratch)
+            self.op(f"{mnemonic}\t{reg}, [sp, #{self.slot_offsets[name]}]")
 
     def read_float(self, operand: ir.Operand, scratch: str) -> str:
         if isinstance(operand, ir.VReg):
@@ -325,6 +350,16 @@ class _Emitter:
         else:
             raise NotImplementedError(f"arm backend cannot emit {type(instr).__name__}")
 
+    def _extend(self, scratch: str, bits: int, unsigned: bool) -> None:
+        """Restore the full-width register invariant after a narrow op.
+
+        32-bit (``w``-register) instructions already zero the upper half,
+        so unsigned values need nothing; signed results get an ``sxtw``.
+        """
+        if bits >= 64 or unsigned:
+            return
+        self.op(f"sxtw\t{scratch}, {_w(scratch)}")
+
     def _emit_binop(self, instr: ir.IRBinOp) -> None:
         if instr.is_float:
             self.read_float(instr.left, "d16")
@@ -335,21 +370,25 @@ class _Emitter:
             return
         self.read_int(instr.left, "x9")
         self.read_int(instr.right, "x10")
+        # Integer binops happen at int width or wider (C's promotions).
+        wide = instr.bits > 32
+        acc, rhs, tmp = ("x9", "x10", "x11") if wide else ("w9", "w10", "w11")
         if instr.op in ("add", "sub", "mul", "and", "or", "xor", "shl"):
             mnemonic = {
                 "add": "add", "sub": "sub", "mul": "mul",
                 "and": "and", "or": "orr", "xor": "eor", "shl": "lsl",
             }[instr.op]
-            self.op(f"{mnemonic}\tx9, x9, x10")
+            self.op(f"{mnemonic}\t{acc}, {acc}, {rhs}")
         elif instr.op == "shr":
-            self.op(f"{'lsr' if instr.unsigned else 'asr'}\tx9, x9, x10")
+            self.op(f"{'lsr' if instr.unsigned else 'asr'}\t{acc}, {acc}, {rhs}")
         elif instr.op == "div":
-            self.op(f"{'udiv' if instr.unsigned else 'sdiv'}\tx9, x9, x10")
+            self.op(f"{'udiv' if instr.unsigned else 'sdiv'}\t{acc}, {acc}, {rhs}")
         elif instr.op == "mod":
-            self.op(f"{'udiv' if instr.unsigned else 'sdiv'}\tx11, x9, x10")
-            self.op("msub\tx9, x11, x10, x9")
+            self.op(f"{'udiv' if instr.unsigned else 'sdiv'}\t{tmp}, {acc}, {rhs}")
+            self.op(f"msub\t{acc}, {tmp}, {rhs}, {acc}")
         else:
             raise NotImplementedError(f"arm backend cannot emit binop {instr.op!r}")
+        self._extend("x9", instr.bits, instr.unsigned)
         self.write_int("x9", instr.dst)
 
     def _emit_cmp(self, instr: ir.IRCmp) -> None:
@@ -361,7 +400,10 @@ class _Emitter:
         else:
             self.read_int(instr.left, "x9")
             self.read_int(instr.right, "x10")
-            self.op("cmp\tx9, x10")
+            if instr.bits > 32:
+                self.op("cmp\tx9, x10")
+            else:
+                self.op("cmp\tw9, w10")
             cond = (_CC_UNSIGNED if instr.unsigned else _CC_SIGNED)[instr.op]
         self.op(f"cset\tx9, {cond}")
         self.write_int("x9", instr.dst)
@@ -373,7 +415,9 @@ class _Emitter:
             self.write_float("d16", instr.dst)
             return
         self.read_int(instr.src, "x9")
-        self.op("neg\tx9, x9" if instr.op == "neg" else "mvn\tx9, x9")
+        reg = "x9" if instr.bits > 32 else "w9"
+        self.op(f"neg\t{reg}, {reg}" if instr.op == "neg" else f"mvn\t{reg}, {reg}")
+        self._extend("x9", instr.bits, instr.unsigned)
         self.write_int("x9", instr.dst)
 
     def _emit_cast(self, instr: ir.IRCast) -> None:
@@ -384,6 +428,17 @@ class _Emitter:
         elif instr.kind == "f2i":
             self.read_float(instr.src, "d16")
             self.op("fcvtzs\tx9, d16")
+            self.write_int("x9", instr.dst)
+        elif instr.kind in ir.WIDTH_CASTS:
+            bits, unsigned = ir.WIDTH_CASTS[instr.kind]
+            self.read_int(instr.src, "x9")
+            if unsigned:
+                # Writing the w-register zero-extends into the full x9.
+                mnemonic = {8: "uxtb", 16: "uxth", 32: "mov"}[bits]
+                self.op(f"{mnemonic}\tw9, w9")
+            else:
+                mnemonic = {8: "sxtb", 16: "sxth", 32: "sxtw"}[bits]
+                self.op(f"{mnemonic}\tx9, w9")
             self.write_int("x9", instr.dst)
         elif instr.dst.is_float:
             self.write_float(self.read_float(instr.src, "d16"), instr.dst)

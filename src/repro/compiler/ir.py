@@ -14,10 +14,20 @@ from typing import Dict, List, Optional, Union
 
 @dataclass(frozen=True)
 class VReg:
-    """A virtual register.  ``is_float`` selects the FP register class."""
+    """A virtual register.  ``is_float`` selects the FP register class.
+
+    Integer registers carry the width (``bits``) and signedness of the C
+    value they hold.  The invariant maintained by lowering and the backends
+    is that an integer register always holds the 64-bit sign-extension
+    (signed) or zero-extension (unsigned) of its ``bits``-wide value, so
+    widening conversions are no-ops and narrow spill slots can be reloaded
+    with the matching extending load.
+    """
 
     id: int
     is_float: bool = False
+    bits: int = 64
+    unsigned: bool = False
 
     def __str__(self) -> str:
         prefix = "f" if self.is_float else "v"
@@ -95,12 +105,20 @@ CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
 
 @dataclass
 class IRBinOp(IRInstr):
+    """``dst = left <op> right`` at a fixed integer width.
+
+    ``bits`` is the width of the C type the operation is performed in (after
+    the usual arithmetic conversions); backends must produce a result that
+    wraps at that width and is then re-extended to 64 bits.
+    """
+
     op: str
     dst: VReg
     left: Operand
     right: Operand
     is_float: bool = False
     unsigned: bool = False
+    bits: int = 64
 
     def defs(self) -> List[VReg]:
         return [self.dst]
@@ -115,17 +133,21 @@ class IRBinOp(IRInstr):
             self.right = mapping[self.right]
 
     def __str__(self) -> str:
-        return f"{self.dst} = {self.op} {self.left}, {self.right}"
+        suffix = "" if self.bits == 64 else f".{self.bits}"
+        return f"{self.dst} = {self.op}{suffix} {self.left}, {self.right}"
 
 
 @dataclass
 class IRCmp(IRInstr):
+    """``dst = left <op> right ? 1 : 0``, compared at ``bits`` wide."""
+
     op: str
     dst: VReg
     left: Operand
     right: Operand
     is_float: bool = False
     unsigned: bool = False
+    bits: int = 64
 
     def defs(self) -> List[VReg]:
         return [self.dst]
@@ -140,17 +162,20 @@ class IRCmp(IRInstr):
             self.right = mapping[self.right]
 
     def __str__(self) -> str:
-        return f"{self.dst} = cmp.{self.op} {self.left}, {self.right}"
+        suffix = "" if self.bits == 64 else f".{self.bits}"
+        return f"{self.dst} = cmp{suffix}.{self.op} {self.left}, {self.right}"
 
 
 @dataclass
 class IRUnary(IRInstr):
-    """``neg`` or ``not`` (bitwise complement)."""
+    """``neg`` or ``not`` (bitwise complement) at ``bits`` wide."""
 
     op: str
     dst: VReg
     src: Operand
     is_float: bool = False
+    bits: int = 64
+    unsigned: bool = False
 
     def defs(self) -> List[VReg]:
         return [self.dst]
@@ -166,11 +191,19 @@ class IRUnary(IRInstr):
         return f"{self.dst} = {self.op} {self.src}"
 
 
+#: Integer width-change cast kinds: truncate the source to N bits, then
+#: sign- (``sext``) or zero- (``zext``) extend back to the full register.
+WIDTH_CASTS = {
+    "sext8": (8, False), "zext8": (8, True),
+    "sext16": (16, False), "zext16": (16, True),
+    "sext32": (32, False), "zext32": (32, True),
+}
+
+
 @dataclass
 class IRCast(IRInstr):
-    """Conversions: ``i2f``, ``f2i``, ``f2f`` (float<->double is a no-op here),
-    and integer width changes ``trunc``/``sext``/``zext`` (semantically applied
-    on store/load; kept for readability of the IR)."""
+    """Conversions: ``i2f``, ``f2i``, ``f2f`` (float<->double is a no-op
+    here), and the integer width changes listed in :data:`WIDTH_CASTS`."""
 
     kind: str
     dst: VReg
@@ -348,8 +381,8 @@ class IRFunction:
     next_vreg: int = 0
     next_label: int = 0
 
-    def new_vreg(self, is_float: bool = False) -> VReg:
-        reg = VReg(self.next_vreg, is_float)
+    def new_vreg(self, is_float: bool = False, bits: int = 64, unsigned: bool = False) -> VReg:
+        reg = VReg(self.next_vreg, is_float, 64 if is_float else bits, unsigned)
         self.next_vreg += 1
         return reg
 

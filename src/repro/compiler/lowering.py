@@ -103,6 +103,22 @@ class Lowerer:
     def _is_float(self, t: ct.CType) -> bool:
         return isinstance(self.resolve(t), ct.FloatType)
 
+    def _width(self, t: ct.CType) -> Tuple[int, bool]:
+        """(bits, unsigned) of the integer register representation of ``t``.
+
+        Pointers, arrays and anything non-integer occupy a full 64-bit
+        register and are treated as signed for extension purposes.
+        """
+        resolved = ct.decay(self.resolve(t))
+        if isinstance(resolved, ct.IntType):
+            return 8 * resolved.sizeof(), resolved.unsigned
+        return 64, False
+
+    def _int_vreg(self, t: ct.CType) -> ir.VReg:
+        """A fresh integer vreg annotated with the width of ``t``."""
+        bits, unsigned = self._width(t)
+        return self.ir.new_vreg(False, bits, unsigned)
+
     def _scalar_promotable(self, t: ct.CType, name: str) -> bool:
         if not self.promote_scalars:
             return False
@@ -124,7 +140,8 @@ class Lowerer:
         for param in func.params:
             ptype = ct.decay(self.resolve(param.type))
             is_float = self._is_float(ptype)
-            reg = self.ir.new_vreg(is_float)
+            bits, unsigned = self._width(ptype)
+            reg = self.ir.new_vreg(is_float, bits, unsigned)
             self.ir.params.append(reg)
             self.ir.param_names.append(param.name)
             if self._scalar_promotable(ptype, param.name):
@@ -202,7 +219,8 @@ class Lowerer:
         if self._scalar_promotable(t, decl.name) and not isinstance(
             t, (ct.ArrayType, ct.StructType)
         ):
-            reg = self.ir.new_vreg(self._is_float(t))
+            bits, unsigned = self._width(t)
+            reg = self.ir.new_vreg(self._is_float(t), bits, unsigned)
             self.vars[decl.name] = _RegisterLocation(reg, t)
             if decl.init is not None and not isinstance(decl.init, ast.InitializerList):
                 value, vtype = self._lower_expr(decl.init)  # type: ignore[arg-type]
@@ -380,15 +398,66 @@ class Lowerer:
         return reg
 
     def _convert(self, value: ir.Operand, from_type: ct.CType, to_type: ct.CType) -> ir.Operand:
-        """Insert an int<->float conversion when required."""
+        """Insert an int<->float or integer width/sign conversion when required."""
         src_float = self._is_float(from_type)
         dst_float = self._is_float(to_type)
-        if src_float == dst_float:
+        if src_float != dst_float:
+            if isinstance(value, (int, float)):
+                if dst_float:
+                    return float(value)
+                return self._wrap_int_operand(int(value), to_type)
+            # f2i truncates to a full 64-bit integer; narrow afterwards.
+            dst = self.ir.new_vreg(dst_float)
+            self.ir.emit(ir.IRCast("i2f" if dst_float else "f2i", dst, value))
+            if not dst_float:
+                return self._narrow(dst, to_type, ct.LONG)
+            return dst
+        if dst_float:
             return value
-        if isinstance(value, (int, float)):
-            return float(value) if dst_float else int(value)
-        dst = self.ir.new_vreg(dst_float)
-        self.ir.emit(ir.IRCast("i2f" if dst_float else "f2i", dst, value))
+        return self._narrow(self._wrap_int_operand(value, to_type), to_type, from_type)
+
+    def _wrap_int_operand(self, value: ir.Operand, to_type: ct.CType) -> ir.Operand:
+        """Fold an integer constant into ``to_type``'s register representation."""
+        if not isinstance(value, int):
+            return value
+        resolved = ct.decay(self.resolve(to_type))
+        if isinstance(resolved, ct.IntType):
+            return resolved.wrap(value)
+        return value
+
+    def _narrow(
+        self,
+        value: ir.Operand,
+        to_type: ct.CType,
+        from_type: Optional[ct.CType] = None,
+    ) -> ir.Operand:
+        """Re-extend ``value`` when ``to_type`` is narrower (or differs in
+        signedness at the same sub-64-bit width) than what ``value`` holds.
+
+        Widening is a no-op: by the vreg invariant, values are already held
+        sign-/zero-extended per their own type, which is exactly the
+        representation any wider type expects.
+        """
+        if not isinstance(value, ir.VReg) or value.is_float:
+            return value
+        to_bits, to_unsigned = self._width(to_type)
+        if from_type is not None:
+            from_bits, from_unsigned = self._width(from_type)
+        else:
+            from_bits, from_unsigned = value.bits, value.unsigned
+        if to_bits >= 64:
+            return value
+        if to_bits > from_bits and (from_unsigned or not to_unsigned):
+            # Widening where the source's existing extension is already the
+            # target representation.  A *signed* source widening into an
+            # unsigned type is NOT a no-op: its sign-extension must be cut
+            # down to the target's zero-extension (e.g. (unsigned)(char)-1).
+            return value
+        if to_bits == from_bits and to_unsigned == from_unsigned:
+            return value
+        dst = self.ir.new_vreg(False, to_bits, to_unsigned)
+        kind = f"{'zext' if to_unsigned else 'sext'}{to_bits}"
+        self.ir.emit(ir.IRCast(kind, dst, value))
         return dst
 
     def _lower_expr(self, expr: ast.Expr) -> Tuple[ir.Operand, ct.CType]:
@@ -448,7 +517,8 @@ class Lowerer:
             self.ir.emit(ir.IRGlobalAddr(addr, expr.name))
             if isinstance(gtype, (ct.ArrayType, ct.StructType)):
                 return addr, gtype
-            dst = self.ir.new_vreg(self._is_float(gtype))
+            bits, unsigned = self._width(gtype)
+            dst = self.ir.new_vreg(self._is_float(gtype), bits, unsigned)
             self.ir.emit(
                 ir.IRLoad(dst, addr, 0, self._store_size(gtype), self._signed(gtype), self._is_float(gtype))
             )
@@ -482,7 +552,8 @@ class Lowerer:
             dst = self.ir.new_vreg()
             self.ir.emit(ir.IRBinOp("add", dst, base, location.offset))
             return dst, t
-        dst = self.ir.new_vreg(self._is_float(t))
+        bits, unsigned = self._width(t)
+        dst = self.ir.new_vreg(self._is_float(t), bits, unsigned)
         self.ir.emit(
             ir.IRLoad(
                 dst,
@@ -608,18 +679,26 @@ class Lowerer:
 
         if op in self._CMP_MAP:
             is_float = self._is_float(left_type) or self._is_float(right_type)
+            bits = 64
+            unsigned = False
             if is_float:
                 left = self._convert(left, left_type, ct.DOUBLE)
                 right = self._convert(right, right_type, ct.DOUBLE)
-            dst = self.ir.new_vreg()
-            unsigned = (
-                isinstance(left_type, ct.IntType)
-                and left_type.unsigned
-                or isinstance(right_type, ct.IntType)
-                and right_type.unsigned
-            )
+            elif isinstance(left_type, ct.IntType) and isinstance(right_type, ct.IntType):
+                # Compare in the common type, as C does: the conversions are
+                # what make mixed signed/unsigned comparisons well defined.
+                common = ct.usual_arithmetic_conversion(
+                    ct.integer_promote(left_type), ct.integer_promote(right_type)
+                )
+                left = self._convert(left, left_type, common)
+                right = self._convert(right, right_type, common)
+                bits, unsigned = self._width(common)
+            dst = self.ir.new_vreg(False, 32)
             self.ir.emit(
-                ir.IRCmp(self._CMP_MAP[op], dst, self._to_reg(left, is_float), right, is_float, unsigned)
+                ir.IRCmp(
+                    self._CMP_MAP[op], dst, self._to_reg(left, is_float), right,
+                    is_float, unsigned, bits,
+                )
             )
             return dst, ct.INT
 
@@ -653,17 +732,27 @@ class Lowerer:
             self.ir.emit(ir.IRBinOp("div", dst, diff, step))
             return dst, ct.LONG
 
-        result_type = ct.usual_arithmetic_conversion(
-            ct.integer_promote(left_type) if left_type.is_arithmetic() else left_type,
-            ct.integer_promote(right_type) if right_type.is_arithmetic() else right_type,
-        )
+        if op in ("<<", ">>") and left_type.is_integer():
+            # Shifts take the promoted LEFT operand's type; the count is not
+            # converted (backends mask it by the operation width, exactly as
+            # ctypes.int_binop does).
+            result_type = ct.integer_promote(left_type)
+        else:
+            result_type = ct.usual_arithmetic_conversion(
+                ct.integer_promote(left_type) if left_type.is_arithmetic() else left_type,
+                ct.integer_promote(right_type) if right_type.is_arithmetic() else right_type,
+            )
         is_float = self._is_float(result_type)
         left = self._convert(left, left_type, result_type)
-        right = self._convert(right, right_type, result_type)
-        unsigned = isinstance(result_type, ct.IntType) and result_type.unsigned
-        dst = self.ir.new_vreg(is_float)
+        if op not in ("<<", ">>"):
+            right = self._convert(right, right_type, result_type)
+        bits, unsigned = self._width(result_type)
+        dst = self.ir.new_vreg(is_float, bits, unsigned)
         self.ir.emit(
-            ir.IRBinOp(self._BINOP_MAP[op], dst, self._to_reg(left, is_float), right, is_float, unsigned)
+            ir.IRBinOp(
+                self._BINOP_MAP[op], dst, self._to_reg(left, is_float), right,
+                is_float, unsigned, bits,
+            )
         )
         return dst, result_type
 
@@ -677,7 +766,7 @@ class Lowerer:
         return dst
 
     def _lower_logical(self, expr: ast.BinaryOp) -> Tuple[ir.Operand, ct.CType]:
-        result = self.ir.new_vreg()
+        result = self.ir.new_vreg(False, 32)
         right_label = self.ir.new_label("Llog")
         end_label = self.ir.new_label("Lend")
         short_label = self.ir.new_label("Lshort")
@@ -692,7 +781,7 @@ class Lowerer:
             short_value = 1
         self.ir.emit(ir.IRLabel(right_label))
         right, _ = self._lower_expr(expr.right)
-        norm = self.ir.new_vreg()
+        norm = self.ir.new_vreg(False, 32)
         self.ir.emit(ir.IRCmp("ne", norm, self._to_reg(right), 0))
         self.ir.emit(ir.IRMove(result, norm))
         self.ir.emit(ir.IRJump(end_label))
@@ -723,15 +812,25 @@ class Lowerer:
             return value, vtype
         if expr.op == "-":
             is_float = self._is_float(vtype)
-            dst = self.ir.new_vreg(is_float)
-            self.ir.emit(ir.IRUnary("neg", dst, self._to_reg(value, is_float), is_float))
-            return dst, vtype
+            if is_float:
+                dst = self.ir.new_vreg(True)
+                self.ir.emit(ir.IRUnary("neg", dst, self._to_reg(value, True), True))
+                return dst, vtype
+            result_type = ct.integer_promote(vtype) if vtype.is_integer() else vtype
+            value = self._convert(value, vtype, result_type)
+            bits, unsigned = self._width(result_type)
+            dst = self.ir.new_vreg(False, bits, unsigned)
+            self.ir.emit(ir.IRUnary("neg", dst, self._to_reg(value), False, bits, unsigned))
+            return dst, result_type
         if expr.op == "~":
-            dst = self.ir.new_vreg()
-            self.ir.emit(ir.IRUnary("not", dst, self._to_reg(value)))
-            return dst, ct.integer_promote(vtype) if vtype.is_integer() else ct.INT
+            result_type = ct.integer_promote(vtype) if vtype.is_integer() else ct.INT
+            value = self._convert(value, vtype, result_type)
+            bits, unsigned = self._width(result_type)
+            dst = self.ir.new_vreg(False, bits, unsigned)
+            self.ir.emit(ir.IRUnary("not", dst, self._to_reg(value), False, bits, unsigned))
+            return dst, result_type
         if expr.op == "!":
-            dst = self.ir.new_vreg()
+            dst = self.ir.new_vreg(False, 32)
             self.ir.emit(ir.IRCmp("eq", dst, self._to_reg(value), 0))
             return dst, ct.INT
         raise LoweringError(f"unsupported unary operator {expr.op!r}")
@@ -741,16 +840,39 @@ class Lowerer:
         current, t = self._load_location_or_reg(location)
         t = self.resolve(t)
         step = 1
+        op_type = t
         if isinstance(ct.decay(t), ct.PointerType):
             step = max(1, self.resolve(ct.decay(t).pointee).sizeof())
+        elif t.is_integer():
+            # ++/-- compute in the promoted type and narrow on the store.
+            op_type = ct.integer_promote(t)
+            current = self._convert(current, t, op_type)
         is_float = self._is_float(t)
+        bits, unsigned = self._width(op_type)
         current_reg = self._to_reg(current, is_float)
-        updated = self.ir.new_vreg(is_float)
+        if (
+            postfix
+            and isinstance(location, _RegisterLocation)
+            and current_reg == location.reg
+        ):
+            # x++ must yield the ORIGINAL value: for a register-promoted
+            # variable the store below overwrites the vreg we would return,
+            # so save a copy first.
+            saved = self.ir.new_vreg(is_float, current_reg.bits, current_reg.unsigned)
+            self.ir.emit(ir.IRMove(saved, current_reg))
+            current_reg = saved
+        updated = self.ir.new_vreg(is_float, bits, unsigned)
         self.ir.emit(
-            ir.IRBinOp("add" if op == "++" else "sub", updated, current_reg, step, is_float)
+            ir.IRBinOp(
+                "add" if op == "++" else "sub", updated, current_reg, step,
+                is_float, unsigned, bits,
+            )
         )
-        self._store_location(location, updated, t)
-        return (current_reg if postfix else updated), t
+        self._store_location(location, updated, op_type)
+        if postfix:
+            return current_reg, t
+        # The value of ++x is the updated value converted back to x's type.
+        return self._convert(updated, op_type, t), t
 
     def _lower_assignment(self, expr: ast.Assignment) -> Tuple[ir.Operand, ct.CType]:
         location = self._lower_lvalue(expr.target)
@@ -759,26 +881,45 @@ class Lowerer:
         )
         if expr.op == "=":
             value, vtype = self._lower_expr(expr.value)
-            self._store_location(location, value, vtype)
-            return value, target_type
+            # The value of the assignment expression is the stored value,
+            # i.e. the RHS *after* conversion to the target's type.
+            converted = self._convert(value, vtype, target_type)
+            self._store_location(location, converted, target_type)
+            return converted, target_type
 
-        # Compound assignment: load-modify-store.
+        # Compound assignment: load-modify-store.  The operation happens in
+        # the same type a standalone ``x op y`` would use (the usual
+        # arithmetic conversions; promoted left type for shifts) and the
+        # result is converted back to the target's type by the store.
         current, _ = self._load_location_or_reg(location)
         value, vtype = self._lower_expr(expr.value)
+        vtype = ct.decay(self.resolve(vtype))
         op = expr.op[:-1]
-        is_float = self._is_float(target_type)
         decayed = ct.decay(target_type)
         if isinstance(decayed, ct.PointerType) and op in ("+", "-"):
+            op_type: ct.CType = decayed
             value = self._scale(value, max(1, self.resolve(decayed.pointee).sizeof()))
+        elif op in ("<<", ">>") and target_type.is_integer():
+            op_type = ct.integer_promote(target_type)
+            current = self._convert(current, target_type, op_type)
         else:
-            value = self._convert(value, vtype, target_type)
-        dst = self.ir.new_vreg(is_float)
-        unsigned = isinstance(target_type, ct.IntType) and target_type.unsigned
+            op_type = ct.usual_arithmetic_conversion(
+                ct.integer_promote(target_type) if target_type.is_arithmetic() else target_type,
+                ct.integer_promote(vtype) if vtype.is_arithmetic() else vtype,
+            )
+            current = self._convert(current, target_type, op_type)
+            value = self._convert(value, vtype, op_type)
+        is_float = self._is_float(op_type)
+        bits, unsigned = self._width(op_type)
+        dst = self.ir.new_vreg(is_float, bits, unsigned)
         self.ir.emit(
-            ir.IRBinOp(self._BINOP_MAP[op], dst, self._to_reg(current, is_float), value, is_float, unsigned)
+            ir.IRBinOp(
+                self._BINOP_MAP[op], dst, self._to_reg(current, is_float), value,
+                is_float, unsigned, bits,
+            )
         )
-        self._store_location(location, dst, target_type)
-        return dst, target_type
+        self._store_location(location, dst, op_type)
+        return self._convert(dst, op_type, target_type), target_type
 
     def _lower_conditional(self, expr: ast.Conditional) -> Tuple[ir.Operand, ct.CType]:
         then_label = self.ir.new_label("Lt")
@@ -789,7 +930,8 @@ class Lowerer:
         self.ir.emit(ir.IRLabel(then_label))
         then_value, then_type = self._lower_expr(expr.then)
         is_float = self._is_float(then_type)
-        result = self.ir.new_vreg(is_float)
+        bits, unsigned = self._width(then_type)
+        result = self.ir.new_vreg(is_float, bits, unsigned)
         self.ir.emit(ir.IRMove(result, self._convert(then_value, then_type, then_type)))
         self.ir.emit(ir.IRJump(end_label))
         self.ir.emit(ir.IRLabel(else_label))
@@ -814,7 +956,8 @@ class Lowerer:
             self.ir.emit(ir.IRCall(None, name, args))
             return 0, ct.VOID
         is_float = self._is_float(return_type)
-        dst = self.ir.new_vreg(is_float)
+        bits, unsigned = self._width(return_type)
+        dst = self.ir.new_vreg(is_float, bits, unsigned)
         self.ir.emit(ir.IRCall(dst, name, args, is_float))
         return dst, return_type
 

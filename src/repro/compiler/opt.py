@@ -399,6 +399,12 @@ def local_fold_and_propagate(func: ir.IRFunction) -> None:
                 new_instrs.append(folded_cmp)
                 constants[folded_cmp.dst] = folded_cmp.value
                 continue
+        elif isinstance(instr, ir.IRCast):
+            folded_cast = _fold_ir_cast(instr)
+            if folded_cast is not None:
+                new_instrs.append(folded_cast)
+                constants[folded_cast.dst] = folded_cast.value
+                continue
         new_instrs.append(instr)
     func.instrs = new_instrs
 
@@ -408,9 +414,11 @@ def _fold_ir_binop(instr: ir.IRBinOp) -> Optional[ir.IRInstr]:
         if instr.is_float:
             value = _fold_float(_IR_TO_C[instr.op], float(instr.left), float(instr.right))
         else:
-            # IR virtual registers are 64-bit; fold at full register width.
+            # Fold at the instruction's annotated width so the constant
+            # matches what the backend's 32-bit instruction would compute.
             value = _fold_int(
-                _IR_TO_C[instr.op], int(instr.left), int(instr.right), 64, instr.unsigned
+                _IR_TO_C[instr.op], int(instr.left), int(instr.right),
+                instr.bits, instr.unsigned,
             )
         if value is not None:
             return ir.IRConst(instr.dst, value)
@@ -430,15 +438,29 @@ def _fold_ir_binop(instr: ir.IRBinOp) -> Optional[ir.IRInstr]:
 
 def _fold_ir_cmp(instr: ir.IRCmp) -> Optional[ir.IRConst]:
     if isinstance(instr.left, (int, float)) and isinstance(instr.right, (int, float)):
+        left, right = instr.left, instr.right
+        if not instr.is_float and isinstance(left, int) and isinstance(right, int):
+            # Compare in the annotated width's domain (unsigned comparisons
+            # of negatively-represented constants need the conversion).
+            t = ct.int_type_for_bits(instr.bits, instr.unsigned)
+            left, right = t.wrap(left), t.wrap(right)
         table = {
-            "eq": instr.left == instr.right,
-            "ne": instr.left != instr.right,
-            "lt": instr.left < instr.right,
-            "le": instr.left <= instr.right,
-            "gt": instr.left > instr.right,
-            "ge": instr.left >= instr.right,
+            "eq": left == right,
+            "ne": left != right,
+            "lt": left < right,
+            "le": left <= right,
+            "gt": left > right,
+            "ge": left >= right,
         }
         return ir.IRConst(instr.dst, int(table[instr.op]))
+    return None
+
+
+def _fold_ir_cast(instr: ir.IRCast) -> Optional[ir.IRConst]:
+    """Fold integer width casts of constants into their extended value."""
+    if instr.kind in ir.WIDTH_CASTS and isinstance(instr.src, int):
+        bits, unsigned = ir.WIDTH_CASTS[instr.kind]
+        return ir.IRConst(instr.dst, ct.int_type_for_bits(bits, unsigned).wrap(instr.src))
     return None
 
 

@@ -10,7 +10,7 @@ keeps every value in memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.compiler import ir
 
@@ -136,7 +136,10 @@ def linear_scan(
     def spill(reg: ir.VReg) -> None:
         slot_name = f"{slot_prefix}.{reg.id}"
         if slot_name not in func.slots:
-            func.add_slot(slot_name, 8)
+            # Slots are sized by the value's width: a 32-bit value spills to
+            # a 4-byte slot and is reloaded with the matching extending load.
+            size = 8 if reg.is_float else max(1, reg.bits // 8)
+            func.add_slot(slot_name, size)
         spill_slot_of[reg] = slot_name
 
     for live in ranges:

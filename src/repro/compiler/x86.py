@@ -32,11 +32,22 @@ _INT_ARGS = ("%rdi", "%rsi", "%rdx", "%rcx", "%r8", "%r9")
 #: FP argument registers in SysV order.
 _FLOAT_ARGS = tuple(f"%xmm{i}" for i in range(8))
 
-#: Sub-register names for the scratch registers, keyed by (register, size).
-_SUBREG = {
-    ("%r10", 1): "%r10b", ("%r10", 2): "%r10w", ("%r10", 4): "%r10d", ("%r10", 8): "%r10",
-    ("%r11", 1): "%r11b", ("%r11", 2): "%r11w", ("%r11", 4): "%r11d", ("%r11", 8): "%r11",
+#: Sub-register names (1/2/4/8 bytes) for every general-purpose register.
+_LEGACY_SUBREGS = {
+    "%rax": ("%al", "%ax", "%eax"), "%rbx": ("%bl", "%bx", "%ebx"),
+    "%rcx": ("%cl", "%cx", "%ecx"), "%rdx": ("%dl", "%dx", "%edx"),
+    "%rsi": ("%sil", "%si", "%esi"), "%rdi": ("%dil", "%di", "%edi"),
+    "%rbp": ("%bpl", "%bp", "%ebp"), "%rsp": ("%spl", "%sp", "%esp"),
 }
+
+
+def _subreg(reg: str, size: int) -> str:
+    """The ``size``-byte view of a 64-bit register name."""
+    if size == 8:
+        return reg
+    if reg in _LEGACY_SUBREGS:
+        return _LEGACY_SUBREGS[reg][{1: 0, 2: 1, 4: 2}[size]]
+    return reg + {1: "b", 2: "w", 4: "d"}[size]
 
 #: setCC suffixes for signed and unsigned integer comparisons.
 _CC_SIGNED = {"eq": "e", "ne": "ne", "lt": "l", "le": "le", "gt": "g", "ge": "ge"}
@@ -110,7 +121,11 @@ class _Emitter:
             self.save_offsets[reg] = offset
         self.slot_offsets: Dict[str, int] = {}
         for slot in self.func.slots.values():
-            offset += (max(slot.size, 1) + 7) & ~7
+            size = max(slot.size, 1)
+            # Narrow spill slots pack at their natural alignment; anything
+            # larger than a word (arrays, structs) stays 8-byte aligned.
+            align = size if size in (1, 2, 4) else 8
+            offset = -(-(offset + size) // align) * align
             self.slot_offsets[slot.name] = offset
             slot.offset = -offset
         self.frame_size = (offset + 15) & ~15
@@ -139,14 +154,31 @@ class _Emitter:
             self.op(f"movabsq\t${value}, {scratch}")
 
     def read_int(self, operand: ir.Operand, scratch: str) -> str:
-        """Materialise an integer operand in ``scratch`` and return it."""
+        """Materialise an integer operand in ``scratch`` and return it.
+
+        Values in physical registers are kept fully extended, so a plain
+        ``movq`` suffices; narrow spill slots are reloaded with the
+        sign-/zero-extending load that matches the value's type.
+        """
         if isinstance(operand, ir.VReg):
             kind, name = self.allocation.location(operand)
             if kind == "reg":
                 if name != scratch:
                     self.op(f"movq\t{name}, {scratch}")
             else:
-                self.op(f"movq\t{self._slot_addr(name)}, {scratch}")
+                mem = self._slot_addr(name)
+                size = max(1, operand.bits // 8)
+                if size == 8:
+                    self.op(f"movq\t{mem}, {scratch}")
+                elif size == 4 and operand.unsigned:
+                    self.op(f"movl\t{mem}, {_subreg(scratch, 4)}")
+                else:
+                    mnemonic = {
+                        (1, False): "movsbq", (1, True): "movzbq",
+                        (2, False): "movswq", (2, True): "movzwq",
+                        (4, False): "movslq",
+                    }[(size, operand.unsigned)]
+                    self.op(f"{mnemonic}\t{mem}, {scratch}")
         else:
             self._load_imm(int(operand), scratch)
         return scratch
@@ -157,7 +189,9 @@ class _Emitter:
             if name != scratch:
                 self.op(f"movq\t{scratch}, {name}")
         else:
-            self.op(f"movq\t{scratch}, {self._slot_addr(name)}")
+            size = max(1, dst.bits // 8)
+            mnemonic = {1: "movb", 2: "movw", 4: "movl", 8: "movq"}[size]
+            self.op(f"{mnemonic}\t{_subreg(scratch, size)}, {self._slot_addr(name)}")
 
     def read_float(self, operand: ir.Operand, scratch: str) -> str:
         if isinstance(operand, ir.VReg):
@@ -293,6 +327,16 @@ class _Emitter:
         else:
             raise NotImplementedError(f"x86 backend cannot emit {type(instr).__name__}")
 
+    def _extend(self, scratch: str, bits: int, unsigned: bool) -> None:
+        """Restore the full-width register invariant after a narrow op.
+
+        32-bit instructions already zero the upper half, so unsigned values
+        need nothing; signed results are sign-extended back to 64 bits.
+        """
+        if bits >= 64 or unsigned:
+            return
+        self.op(f"movslq\t{_subreg(scratch, 4)}, {scratch}")
+
     def _emit_binop(self, instr: ir.IRBinOp) -> None:
         if instr.is_float:
             self.read_float(instr.left, "%xmm14")
@@ -303,31 +347,38 @@ class _Emitter:
             return
         self.read_int(instr.left, "%r10")
         self.read_int(instr.right, "%r11")
+        # Integer binops happen at int width or wider (C's promotions).
+        wide = instr.bits > 32
+        suffix = "q" if wide else "l"
+        acc = "%r10" if wide else "%r10d"
+        rhs = "%r11" if wide else "%r11d"
         if instr.op in ("add", "sub", "mul", "and", "or", "xor"):
             mnemonic = {
-                "add": "addq", "sub": "subq", "mul": "imulq",
-                "and": "andq", "or": "orq", "xor": "xorq",
+                "add": "add", "sub": "sub", "mul": "imul",
+                "and": "and", "or": "or", "xor": "xor",
             }[instr.op]
-            self.op(f"{mnemonic}\t%r11, %r10")
+            self.op(f"{mnemonic}{suffix}\t{rhs}, {acc}")
         elif instr.op in ("div", "mod"):
-            self.op("movq\t%r10, %rax")
+            self.op(f"mov{suffix}\t{acc}, {_subreg('%rax', 4 if not wide else 8)}")
             if instr.unsigned:
                 self.op("xorl\t%edx, %edx")
-                self.op("divq\t%r11")
+                self.op(f"div{suffix}\t{rhs}")
             else:
-                self.op("cqto")
-                self.op("idivq\t%r11")
-            self.op(f"movq\t{'%rax' if instr.op == 'div' else '%rdx'}, %r10")
+                self.op("cqto" if wide else "cltd")
+                self.op(f"idiv{suffix}\t{rhs}")
+            result = "%rax" if instr.op == "div" else "%rdx"
+            self.op(f"mov{suffix}\t{_subreg(result, 4 if not wide else 8)}, {acc}")
         elif instr.op in ("shl", "shr"):
             self.op("movq\t%r11, %rcx")
             if instr.op == "shl":
-                self.op("salq\t%cl, %r10")
+                self.op(f"sal{suffix}\t%cl, {acc}")
             elif instr.unsigned:
-                self.op("shrq\t%cl, %r10")
+                self.op(f"shr{suffix}\t%cl, {acc}")
             else:
-                self.op("sarq\t%cl, %r10")
+                self.op(f"sar{suffix}\t%cl, {acc}")
         else:
             raise NotImplementedError(f"x86 backend cannot emit binop {instr.op!r}")
+        self._extend("%r10", instr.bits, instr.unsigned)
         self.write_int("%r10", instr.dst)
 
     def _emit_cmp(self, instr: ir.IRCmp) -> None:
@@ -339,7 +390,10 @@ class _Emitter:
         else:
             self.read_int(instr.left, "%r10")
             self.read_int(instr.right, "%r11")
-            self.op("cmpq\t%r11, %r10")
+            if instr.bits > 32:
+                self.op("cmpq\t%r11, %r10")
+            else:
+                self.op("cmpl\t%r11d, %r10d")
             table = _CC_UNSIGNED if instr.unsigned else _CC_SIGNED
             suffix = table[instr.op]
         self.op(f"set{suffix}\t%r10b")
@@ -354,7 +408,10 @@ class _Emitter:
             self.write_float("%xmm14", instr.dst)
             return
         self.read_int(instr.src, "%r10")
-        self.op("negq\t%r10" if instr.op == "neg" else "notq\t%r10")
+        wide = instr.bits > 32
+        mnemonic = "neg" if instr.op == "neg" else "not"
+        self.op(f"{mnemonic}{'q' if wide else 'l'}\t{'%r10' if wide else '%r10d'}")
+        self._extend("%r10", instr.bits, instr.unsigned)
         self.write_int("%r10", instr.dst)
 
     def _emit_cast(self, instr: ir.IRCast) -> None:
@@ -365,6 +422,19 @@ class _Emitter:
         elif instr.kind == "f2i":
             self.read_float(instr.src, "%xmm14")
             self.op("cvttsd2si\t%xmm14, %r10")
+            self.write_int("%r10", instr.dst)
+        elif instr.kind in ir.WIDTH_CASTS:
+            bits, unsigned = ir.WIDTH_CASTS[instr.kind]
+            self.read_int(instr.src, "%r10")
+            if bits == 32 and unsigned:
+                self.op("movl\t%r10d, %r10d")
+            else:
+                mnemonic = {
+                    (8, False): "movsbq", (8, True): "movzbq",
+                    (16, False): "movswq", (16, True): "movzwq",
+                    (32, False): "movslq",
+                }[(bits, unsigned)]
+                self.op(f"{mnemonic}\t{_subreg('%r10', bits // 8)}, %r10")
             self.write_int("%r10", instr.dst)
         elif instr.dst.is_float:
             self.write_float(self.read_float(instr.src, "%xmm14"), instr.dst)
@@ -410,7 +480,7 @@ class _Emitter:
         self.read_int(instr.addr, "%r11")
         mem = f"{instr.offset}(%r11)" if instr.offset else "(%r11)"
         mnemonic = {1: "movb", 2: "movw", 4: "movl", 8: "movq"}[instr.size]
-        self.op(f"{mnemonic}\t{_SUBREG[('%r10', instr.size)]}, {mem}")
+        self.op(f"{mnemonic}\t{_subreg('%r10', instr.size)}, {mem}")
 
     def _emit_call(self, instr: ir.IRCall) -> None:
         int_index = 0

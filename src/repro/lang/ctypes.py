@@ -288,6 +288,15 @@ def integer_promote(t: CType) -> CType:
     return t
 
 
+#: Integer kind with exactly N bits, used to rebuild a type from a width.
+_BITS_TO_KIND = {8: "char", 16: "short", 32: "int", 64: "long"}
+
+
+def int_type_for_bits(bits: int, unsigned: bool = False) -> IntType:
+    """The :class:`IntType` of width ``bits`` (8/16/32/64)."""
+    return IntType(_BITS_TO_KIND[bits], unsigned=unsigned)
+
+
 def int_binop(op: str, left: int, right: int, bits: int = 64, unsigned: bool = False) -> int:
     """Apply a C integer operator at a fixed width with wrapped semantics.
 
@@ -299,7 +308,7 @@ def int_binop(op: str, left: int, right: int, bits: int = 64, unsigned: bool = F
     shift counts are masked by the width, and the result wraps to the
     width.  Raises :class:`ZeroDivisionError` for ``/ 0`` and ``% 0``.
     """
-    t = IntType("int" if bits == 32 else "long", unsigned=unsigned)
+    t = int_type_for_bits(bits, unsigned=unsigned)
     li = t.wrap(int(left))
     ri = t.wrap(int(right))
     if op == "+":

@@ -899,6 +899,20 @@ def apply_binary(
         or isinstance(right, float)
     )
     if op in ("==", "!=", "<", ">", "<=", ">="):
+        if (
+            not is_float
+            and isinstance(left_type, ct.IntType)
+            and isinstance(right_type, ct.IntType)
+        ):
+            # C compares in the common type: converting both operands there
+            # is what makes mixed signed/unsigned comparisons (-1 < 1u is
+            # false!) match the compiled code.
+            common = ct.usual_arithmetic_conversion(
+                ct.integer_promote(left_type), ct.integer_promote(right_type)
+            )
+            if isinstance(common, ct.IntType):
+                left = common.wrap(int(left))
+                right = common.wrap(int(right))
         table = {
             "==": left == right,
             "!=": left != right,

@@ -8,7 +8,7 @@ declarations from the type-inference engine.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.lang import ast_nodes as ast
 from repro.lang import ctypes as ct

@@ -331,4 +331,118 @@ int wrap_shift(int n) {
         "wrap_shift",
         [(0,), (5,), (-2,)],
     ),
+    # -- width-sensitive functions: the 32-bit intermediate overflows (or the
+    # -- signedness matters) BEFORE the value is stored, so 64-bit codegen
+    # -- would silently diverge from the interpreter's wrapped semantics.
+    (
+        """
+int prod_div(int a, int b, int c) {
+    return a * b / c;
+}
+""",
+        "prod_div",
+        [(100000, 100000, 1000), (-50000, 70000, 9), (46341, 46341, 7), (12, 3, 4)],
+    ),
+    (
+        """
+int mac_chain(int a, int b, int c) {
+    int acc = a;
+    for (int i = 0; i < 6; i++) {
+        acc = acc * b + c;
+    }
+    return acc / 5;
+}
+""",
+        "mac_chain",
+        [(3, 1000, 7), (-2, 99991, 12345), (1, 2, 3)],
+    ),
+    (
+        """
+int mixed_cmp(int a, unsigned int b) {
+    int n = 0;
+    if (a < b) {
+        n = n + 1;
+    }
+    if (a > b) {
+        n = n + 2;
+    }
+    if (a == b) {
+        n = n + 4;
+    }
+    return n;
+}
+""",
+        "mixed_cmp",
+        [(-1, 1), (-2147483647, 4294967295), (5, 5), (7, 3), (-1, 4294967295)],
+    ),
+    (
+        """
+int narrow_cast(long x) {
+    int y = (int) x;
+    return y / 3;
+}
+""",
+        "narrow_cast",
+        [(4294967305,), (-4294967291,), (21,), (8589934592,)],
+    ),
+    (
+        """
+int shl_div(int x, int s) {
+    return (x << s) / 4;
+}
+""",
+        "shl_div",
+        [(1, 31), (3, 30), (-1, 20), (5, 2)],
+    ),
+    (
+        """
+unsigned int udiv_wrap(unsigned int a, unsigned int b) {
+    return a * a / b + (a * 3 - b) % 7;
+}
+""",
+        "udiv_wrap",
+        [(65536, 10), (4000000000, 13), (9, 2)],
+    ),
+    (
+        """
+long widen_mix(int a, unsigned int b, long c) {
+    long wide = a * b;
+    return wide + (a + c) / 3;
+}
+""",
+        "widen_mix",
+        [(-3, 5, 1000000000000), (100000, 100000, -9), (2, 2, 2)],
+    ),
+    (
+        """
+long to_ulong(int a) {
+    unsigned int u = a;
+    return u / 3 + u;
+}
+""",
+        "to_ulong",
+        [(-1,), (-2147483647,), (9,)],
+    ),
+    (
+        """
+int assign_value(int i) {
+    char c;
+    int r = (c = i);
+    return r * 2 + c;
+}
+""",
+        "assign_value",
+        [(70000,), (-1,), (56,)],
+    ),
+    (
+        """
+int postfix_value(int x) {
+    int y = x++;
+    int z = x--;
+    return y * 100 + z * 10 + x;
+}
+""",
+        "postfix_value",
+        [(3,), (-7,), (0,)],
+    ),
 ]

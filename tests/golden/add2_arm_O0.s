@@ -7,36 +7,38 @@
 add2:
 	stp	x29, x30, [sp, #-16]!
 	mov	x29, sp
-	sub	sp, sp, #80
-	str	x0, [sp, #16]
-	str	x1, [sp, #24]
+	sub	sp, sp, #64
+	str	w0, [sp, #16]
+	str	w1, [sp, #20]
 	mov	x9, sp
-	str	x9, [sp, #32]
-	ldr	x9, [sp, #16]
-	ldr	x10, [sp, #32]
+	str	x9, [sp, #24]
+	ldrsw	x9, [sp, #16]
+	ldr	x10, [sp, #24]
 	str	w9, [x10]
 	add	x9, sp, #8
-	str	x9, [sp, #40]
-	ldr	x9, [sp, #24]
-	ldr	x10, [sp, #40]
+	str	x9, [sp, #32]
+	ldrsw	x9, [sp, #20]
+	ldr	x10, [sp, #32]
 	str	w9, [x10]
+	ldr	x10, [sp, #24]
+	ldrsw	x9, [x10]
+	str	w9, [sp, #40]
 	ldr	x10, [sp, #32]
 	ldrsw	x9, [x10]
-	str	x9, [sp, #48]
-	ldr	x10, [sp, #40]
-	ldrsw	x9, [x10]
-	str	x9, [sp, #56]
-	ldr	x9, [sp, #48]
-	ldr	x10, [sp, #56]
-	add	x9, x9, x10
-	str	x9, [sp, #64]
-	ldr	x9, [sp, #64]
+	str	w9, [sp, #44]
+	ldrsw	x9, [sp, #40]
+	ldrsw	x10, [sp, #44]
+	add	w9, w9, w10
+	sxtw	x9, w9
+	str	w9, [sp, #48]
+	ldrsw	x9, [sp, #48]
 	mov	x10, #2
-	add	x9, x9, x10
-	str	x9, [sp, #72]
-	ldr	x0, [sp, #72]
+	add	w9, w9, w10
+	sxtw	x9, w9
+	str	w9, [sp, #52]
+	ldrsw	x0, [sp, #52]
 .Lret_add2:
-	add	sp, sp, #80
+	add	sp, sp, #64
 	ldp	x29, x30, [sp], #16
 	ret
 	.size	add2, .-add2

@@ -16,11 +16,13 @@ add2:
 	mov	x20, x1
 	mov	x9, x19
 	mov	x10, x20
-	add	x9, x9, x10
+	add	w9, w9, w10
+	sxtw	x9, w9
 	mov	x21, x9
 	mov	x9, x21
 	mov	x10, #2
-	add	x9, x9, x10
+	add	w9, w9, w10
+	sxtw	x9, w9
 	mov	x22, x9
 	mov	x0, x22
 .Lret_add2:

@@ -5,34 +5,36 @@
 add2:
 	pushq	%rbp
 	movq	%rsp, %rbp
-	subq	$80, %rsp
-	movq	%rdi, -24(%rbp)
-	movq	%rsi, -32(%rbp)
+	subq	$64, %rsp
+	movl	%edi, -20(%rbp)
+	movl	%esi, -24(%rbp)
 	leaq	-8(%rbp), %r10
-	movq	%r10, -40(%rbp)
-	movq	-24(%rbp), %r10
-	movq	-40(%rbp), %r11
+	movq	%r10, -32(%rbp)
+	movslq	-20(%rbp), %r10
+	movq	-32(%rbp), %r11
 	movl	%r10d, (%r11)
 	leaq	-16(%rbp), %r10
-	movq	%r10, -48(%rbp)
-	movq	-32(%rbp), %r10
-	movq	-48(%rbp), %r11
+	movq	%r10, -40(%rbp)
+	movslq	-24(%rbp), %r10
+	movq	-40(%rbp), %r11
 	movl	%r10d, (%r11)
+	movq	-32(%rbp), %r11
+	movslq	(%r11), %r10
+	movl	%r10d, -44(%rbp)
 	movq	-40(%rbp), %r11
 	movslq	(%r11), %r10
-	movq	%r10, -56(%rbp)
-	movq	-48(%rbp), %r11
-	movslq	(%r11), %r10
-	movq	%r10, -64(%rbp)
-	movq	-56(%rbp), %r10
-	movq	-64(%rbp), %r11
-	addq	%r11, %r10
-	movq	%r10, -72(%rbp)
-	movq	-72(%rbp), %r10
+	movl	%r10d, -48(%rbp)
+	movslq	-44(%rbp), %r10
+	movslq	-48(%rbp), %r11
+	addl	%r11d, %r10d
+	movslq	%r10d, %r10
+	movl	%r10d, -52(%rbp)
+	movslq	-52(%rbp), %r10
 	movq	$2, %r11
-	addq	%r11, %r10
-	movq	%r10, -80(%rbp)
-	movq	-80(%rbp), %rax
+	addl	%r11d, %r10d
+	movslq	%r10d, %r10
+	movl	%r10d, -56(%rbp)
+	movslq	-56(%rbp), %rax
 .Lret_add2:
 	leave
 	ret

@@ -14,11 +14,13 @@ add2:
 	movq	%rsi, %r12
 	movq	%rbx, %r10
 	movq	%r12, %r11
-	addq	%r11, %r10
+	addl	%r11d, %r10d
+	movslq	%r10d, %r10
 	movq	%r10, %r13
 	movq	%r13, %r10
 	movq	$2, %r11
-	addq	%r11, %r10
+	addl	%r11d, %r10d
+	movslq	%r10d, %r10
 	movq	%r10, %r14
 	movq	%r14, %rax
 .Lret_add2:

@@ -1,8 +1,9 @@
-"""Regenerate the golden assembly files used by test_backends.py.
+"""Regenerate (or verify) the golden assembly files used by test_backends.py.
 
 Run from the repository root:
 
-    python tests/make_golden.py
+    python tests/make_golden.py          # rewrite the golden files
+    python tests/make_golden.py --check  # exit 1 if any golden file is stale
 """
 
 import sys
@@ -16,15 +17,37 @@ SOURCE = "int add2(int a, int b) { return a + b + 2; }\n"
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
-def main() -> None:
-    GOLDEN_DIR.mkdir(exist_ok=True)
+def generate() -> dict:
+    """{path: expected assembly} for every golden file."""
+    expected = {}
     for isa in ("x86", "arm"):
         for opt in ("O0", "O3"):
             compiled = compile_function(SOURCE, isa=isa, opt_level=opt)
-            path = GOLDEN_DIR / f"add2_{isa}_{opt}.s"
-            path.write_text(compiled.assembly)
-            print(f"wrote {path} ({len(compiled.assembly.splitlines())} lines)")
+            expected[GOLDEN_DIR / f"add2_{isa}_{opt}.s"] = compiled.assembly
+    return expected
+
+
+def main() -> int:
+    check = "--check" in sys.argv[1:]
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    expected = generate()
+    stale = []
+    for path, assembly in expected.items():
+        if check:
+            if not path.exists() or path.read_text() != assembly:
+                stale.append(path)
+        else:
+            path.write_text(assembly)
+            print(f"wrote {path} ({len(assembly.splitlines())} lines)")
+    if check and stale:
+        for path in stale:
+            print(f"stale golden file: {path}", file=sys.stderr)
+        print("regenerate with: python tests/make_golden.py", file=sys.stderr)
+        return 1
+    if check:
+        print(f"{len(expected)} golden files up to date")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())
