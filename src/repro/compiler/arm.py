@@ -21,7 +21,7 @@ saved by an initial ``stp`` so incoming stack arguments sit at ``x29 + 16``.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.compiler import ir
 from repro.compiler.regalloc import Allocation
@@ -77,8 +77,9 @@ class ArmBackend:
         allocation: Allocation,
         string_literals: Dict[str, str],
         global_sizes: Dict[str, int],
+        global_inits: Optional[Dict[str, ir.GlobalInit]] = None,
     ) -> str:
-        return _Emitter(func, allocation, string_literals, global_sizes).emit()
+        return _Emitter(func, allocation, string_literals, global_sizes, global_inits).emit()
 
 
 class _Emitter:
@@ -88,11 +89,13 @@ class _Emitter:
         allocation: Allocation,
         string_literals: Dict[str, str],
         global_sizes: Dict[str, int],
+        global_inits: Optional[Dict[str, ir.GlobalInit]] = None,
     ) -> None:
         self.func = func
         self.allocation = allocation
         self.string_literals = string_literals
         self.global_sizes = global_sizes
+        self.global_inits = global_inits or {}
         self.body: List[str] = []
         self.float_pool: Dict[int, str] = {}
         self.used_globals: List[str] = []
@@ -533,7 +536,28 @@ class _Emitter:
                 lines.append("\t.align\t3")
                 lines.append(f"{label}:")
                 lines.append(f"\t.xword\t0x{bits:016x}\t// double {value!r}")
+        data_directives = {1: ".byte", 2: ".hword", 4: ".word", 8: ".xword"}
+        emitted_data = False
         for symbol in self.used_globals:
+            init = self.global_inits.get(symbol)
+            if init is not None:
+                if not emitted_data:
+                    lines.append("\t.data")
+                    emitted_data = True
+                # Weak definition, for the same reason as the x86 backend:
+                # per-function translation units sharing an initialised
+                # global must still link together.
+                lines.append(f"\t.weak\t{symbol}")
+                lines.append("\t.align\t3")
+                lines.append(f"\t.type\t{symbol}, %object")
+                lines.append(f"\t.size\t{symbol}, {init.size}")
+                lines.append(f"{symbol}:")
+                for elem_size, raw in init.items:
+                    lines.append(f"\t{data_directives[elem_size]}\t{raw}")
+                emitted = sum(elem_size for elem_size, _ in init.items)
+                if emitted < init.size:
+                    lines.append(f"\t.zero\t{init.size - emitted}")
+                continue
             size = self.global_sizes.get(symbol)
             if size is not None:
                 lines.append(f"\t.comm\t{symbol},{size},8")

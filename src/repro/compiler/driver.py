@@ -13,13 +13,17 @@ reproduction's equivalent of "GCC rejected the translation unit".
 
 from __future__ import annotations
 
+import copy
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.compiler import ir
 from repro.compiler.lowering import Lowerer, LoweringError
-from repro.compiler.opt import optimize_function_ast, optimize_ir
+from repro.compiler.opt import fold_constants_expr, optimize_function_ast, optimize_ir
 from repro.compiler.regalloc import linear_scan
 from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
 from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.printer import print_function
@@ -115,6 +119,83 @@ def _select_function(program: ast.Program, name: Optional[str]) -> ast.FunctionD
     return func
 
 
+# ---------------------------------------------------------------------------
+# Global initialisers
+# ---------------------------------------------------------------------------
+
+
+def _const_value(node: ast.Node) -> Union[int, float]:
+    """Evaluate a compile-time-constant initialiser expression.
+
+    Raises :class:`CompileError` for anything that is not constant, matching
+    how a real C compiler rejects non-constant static initialisers.
+    """
+    if isinstance(node, ast.Expr):
+        folded = fold_constants_expr(copy.deepcopy(node))
+        if isinstance(folded, (ast.IntLiteral, ast.CharLiteral)):
+            return folded.value
+        if isinstance(folded, ast.FloatLiteral):
+            return folded.value
+    raise CompileError("global initialiser is not a compile-time constant")
+
+
+def _scalar_init_item(t: ct.CType, node: ast.Node) -> Tuple[int, int]:
+    """(element_size, raw two's-complement value) for one scalar datum."""
+    value = _const_value(node)
+    if isinstance(t, ct.FloatType):
+        if t.sizeof() == 4:
+            raw = struct.unpack("<I", struct.pack("<f", float(value)))[0]
+        else:
+            raw = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+        return t.sizeof(), raw
+    size = t.sizeof()
+    return size, int(value) & ((1 << (8 * size)) - 1)
+
+
+def _global_init(t: ct.CType, node: ast.Node) -> ir.GlobalInit:
+    """Render one global's initialiser into packed data items."""
+    if isinstance(t, ct.ArrayType):
+        elem = t.element
+        if isinstance(node, ast.StringLiteral) and elem.sizeof() == 1:
+            data = node.value.encode("latin-1", errors="replace") + b"\0"
+            items = [(1, b) for b in data]
+            return ir.GlobalInit(max(t.sizeof(), len(data)), items)
+        if isinstance(node, ast.InitializerList):
+            items = [_scalar_init_item(elem, item) for item in node.items]
+            return ir.GlobalInit(t.sizeof(), items)
+        raise CompileError("unsupported array initialiser for a global")
+    if isinstance(t, (ct.StructType,)):
+        raise CompileError("struct global initialisers are not supported")
+    if isinstance(node, ast.InitializerList):
+        node = node.items[0] if node.items else ast.IntLiteral(0)
+    return ir.GlobalInit(max(1, t.sizeof()), [_scalar_init_item(t, node)])
+
+
+def _collect_global_inits(
+    program: ast.Program, lowerer: Lowerer
+) -> Dict[str, ir.GlobalInit]:
+    """Constant initialiser data for every initialised global declaration."""
+    decls: List[ast.Declaration] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.Declaration):
+            decls.append(decl)
+        elif isinstance(decl, ast.Block):
+            decls.extend(d for d in decl.stmts if isinstance(d, ast.Declaration))
+    inits: Dict[str, ir.GlobalInit] = {}
+    for decl in decls:
+        if decl.init is None:
+            continue
+        try:
+            t = lowerer.resolve(decl.type)
+        except LoweringError as exc:
+            raise CompileError(str(exc)) from exc
+        init = _global_init(t, decl.init)
+        # All-zero data stays in .comm/.bss, exactly as GCC leaves it.
+        if any(raw != 0 for _, raw in init.items):
+            inits[decl.name] = init
+    return inits
+
+
 def compile_function(
     source: Union[str, ast.Program],
     name: Optional[str] = None,
@@ -160,9 +241,12 @@ def compile_function(
             global_sizes[global_name] = max(1, lowerer.resolve(global_type).sizeof())
         except LoweringError:
             continue
+    global_inits = _collect_global_inits(program, lowerer)
 
     try:
-        assembly = backend.emit_function(ir_func, allocation, string_literals, global_sizes)
+        assembly = backend.emit_function(
+            ir_func, allocation, string_literals, global_sizes, global_inits
+        )
     except NotImplementedError as exc:
         raise CompileError(f"{isa} backend error: {exc}") from exc
     return CompiledFunction(

@@ -47,6 +47,20 @@ class StackSlot:
     offset: int = 0  # assigned by the backend
 
 
+@dataclass
+class GlobalInit:
+    """Constant initialiser data for one global symbol.
+
+    ``items`` is the packed sequence of ``(element_size, raw_value)`` pairs
+    the backend renders as data directives (raw values are the unsigned
+    two's-complement byte patterns, so floats arrive as IEEE bit patterns).
+    Trailing zero bytes up to ``size`` are implied.
+    """
+
+    size: int
+    items: List[tuple] = field(default_factory=list)  # (elem_size, raw_value)
+
+
 class IRInstr:
     """Base class for IR instructions."""
 

@@ -462,7 +462,7 @@ class Lowerer:
 
     def _lower_expr(self, expr: ast.Expr) -> Tuple[ir.Operand, ct.CType]:
         if isinstance(expr, ast.IntLiteral):
-            return expr.value, ct.INT if abs(expr.value) <= 0x7FFFFFFF else ct.LONG
+            return expr.value, ct.literal_int_type(expr.value)
         if isinstance(expr, ast.FloatLiteral):
             return float(expr.value), ct.DOUBLE
         if isinstance(expr, ast.CharLiteral):
@@ -929,16 +929,24 @@ class Lowerer:
         self.ir.emit(ir.IRBranch(self._to_reg(cond), then_label, else_label))
         self.ir.emit(ir.IRLabel(then_label))
         then_value, then_type = self._lower_expr(expr.then)
-        is_float = self._is_float(then_type)
-        bits, unsigned = self._width(then_type)
+        # Both branches convert to the conditional's common type — the one
+        # the checker annotated (usual arithmetic conversions).  Falling
+        # back to the then-branch type keeps unannotated ASTs working.
+        result_type = then_type
+        if expr.ctype is not None:
+            annotated = self.resolve(expr.ctype)
+            if annotated.is_arithmetic() or isinstance(annotated, ct.PointerType):
+                result_type = annotated
+        is_float = self._is_float(result_type)
+        bits, unsigned = self._width(result_type)
         result = self.ir.new_vreg(is_float, bits, unsigned)
-        self.ir.emit(ir.IRMove(result, self._convert(then_value, then_type, then_type)))
+        self.ir.emit(ir.IRMove(result, self._convert(then_value, then_type, result_type)))
         self.ir.emit(ir.IRJump(end_label))
         self.ir.emit(ir.IRLabel(else_label))
         else_value, else_type = self._lower_expr(expr.otherwise)
-        self.ir.emit(ir.IRMove(result, self._convert(else_value, else_type, then_type)))
+        self.ir.emit(ir.IRMove(result, self._convert(else_value, else_type, result_type)))
         self.ir.emit(ir.IRLabel(end_label))
-        return result, then_type
+        return result, result_type
 
     def _lower_call(self, expr: ast.Call) -> Tuple[ir.Operand, ct.CType]:
         if not isinstance(expr.func, ast.Identifier):

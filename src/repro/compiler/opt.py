@@ -77,8 +77,8 @@ def _literal_int_type(expr: ast.Expr) -> ct.IntType:
     """The type an integer literal takes (mirrors lowering's literal rule)."""
     if isinstance(expr.ctype, ct.IntType):
         return expr.ctype
-    if isinstance(expr, ast.IntLiteral) and abs(expr.value) > 0x7FFFFFFF:
-        return ct.LONG
+    if isinstance(expr, ast.IntLiteral):
+        return ct.literal_int_type(expr.value)
     return ct.INT
 
 

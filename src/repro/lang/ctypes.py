@@ -288,6 +288,16 @@ def integer_promote(t: CType) -> CType:
     return t
 
 
+def literal_int_type(value: int) -> IntType:
+    """The C type of a decimal integer literal: int, or long beyond it.
+
+    The single source of truth for the type checker, the interpreter's
+    static typing, lowering and the constant folder — they must agree or
+    the substrates diverge on wide literals.
+    """
+    return LONG if abs(value) > 0x7FFFFFFF else INT
+
+
 #: Integer kind with exactly N bits, used to rebuild a type from a width.
 _BITS_TO_KIND = {8: "char", 16: "short", 32: "int", 64: "long"}
 

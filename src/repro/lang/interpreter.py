@@ -558,8 +558,20 @@ class Interpreter:
             return self._eval_assignment(expr, scope)
         if isinstance(expr, ast.Conditional):
             if self._truthy(self._eval(expr.cond, scope)):
-                return self._eval(expr.then, scope)
-            return self._eval(expr.otherwise, scope)
+                value = self._eval(expr.then, scope)
+            else:
+                value = self._eval(expr.otherwise, scope)
+            # C converts both branches to the conditional's common type
+            # (the ctype the checker computed); (c ? -1 : 1u) really is
+            # 4294967295, and an int branch of a double ternary is a double.
+            result_type = (
+                self._resolve_type(expr.ctype) if expr.ctype is not None else None
+            )
+            if isinstance(result_type, ct.IntType) and not isinstance(value, float):
+                return result_type.wrap(int(value))
+            if isinstance(result_type, ct.FloatType):
+                return float(value)
+            return value
         if isinstance(expr, ast.Call):
             return self._eval_call(expr, scope)
         if isinstance(expr, (ast.Index, ast.Member)):
@@ -617,7 +629,9 @@ class Interpreter:
             return self._resolve_type(expr.target_type)
         if isinstance(expr, ast.UnaryOp) and expr.op == "&":
             return ct.PointerType(self._expr_static_type(expr.operand, scope))
-        if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+        if isinstance(expr, ast.IntLiteral):
+            return ct.literal_int_type(expr.value)
+        if isinstance(expr, ast.CharLiteral):
             return ct.INT
         if isinstance(expr, ast.FloatLiteral):
             return ct.DOUBLE
@@ -678,16 +692,29 @@ class Interpreter:
             delta = self._pointer_step(t)
             new = old + delta if expr.op == "++" else old - delta
             write_typed(self.memory, lvalue.addr, new, t)
+            # The value of ++x is the value stored back into x, i.e. wrapped
+            # to x's type (++c on char 127 is -128, not 128).
+            if isinstance(t, ct.IntType):
+                return t.wrap(int(new))
             return new
         value = self._eval(expr.operand, scope)
-        if expr.op == "-":
-            return -value
-        if expr.op == "+":
-            return value
         if expr.op == "!":
             return 0 if self._truthy(value) else 1
-        if expr.op == "~":
-            return ~int(value)
+        if expr.op == "+":
+            return value
+        if expr.op in ("-", "~"):
+            if expr.op == "-" and isinstance(value, float):
+                return -value
+            result = -int(value) if expr.op == "-" else ~int(value)
+            # C evaluates unary - and ~ in the promoted operand type; wrap
+            # there so -(unsigned int)1 is 4294967295, exactly as the
+            # compiled code computes it.
+            operand_type = ct.decay(self._expr_static_type(expr.operand, scope))
+            if isinstance(operand_type, ct.IntType):
+                promoted = ct.integer_promote(operand_type)
+                if isinstance(promoted, ct.IntType):
+                    return promoted.wrap(result)
+            return result
         raise CInterpreterError(f"unsupported unary operator {expr.op!r}")
 
     def _deref_type(self, pointer_expr: ast.Expr, scope: Dict[str, LValue]) -> ct.CType:

@@ -82,6 +82,10 @@ class _ExprPrinter:
 
     def _visit_UnaryOp(self, e: ast.UnaryOp) -> str:
         operand = self._paren_if_needed(e.operand)
+        # "-" followed by "-28" must not fuse into the predecrement "--28";
+        # parenthesise whenever operand text starts with the operator's char.
+        if operand.startswith(e.op[0]):
+            operand = f"({operand})"
         return f"{e.op}{operand}"
 
     def _visit_PostfixOp(self, e: ast.PostfixOp) -> str:

@@ -158,10 +158,18 @@ class TypeChecker:
                 self.structs[decl.tag] = struct
             elif isinstance(decl, ast.Declaration):
                 self.global_scope.define(decl.name, self._resolve(decl.type))
+                if decl.init is not None:
+                    # Annotate initialiser expressions: the interpreter's
+                    # static typing (and constant wrapping) relies on ctype.
+                    self._check_initializer(decl.init, self._resolve(decl.type), self.global_scope)
             elif isinstance(decl, ast.Block):
                 for inner in decl.stmts:
                     if isinstance(inner, ast.Declaration):
                         self.global_scope.define(inner.name, self._resolve(inner.type))
+                        if inner.init is not None:
+                            self._check_initializer(
+                                inner.init, self._resolve(inner.type), self.global_scope
+                            )
             elif isinstance(decl, ast.FunctionDef):
                 params = tuple(self._resolve(p.type) for p in decl.params)
                 self.functions[decl.name] = ct.FunctionType(
@@ -276,7 +284,7 @@ class TypeChecker:
 
     def _expr_type(self, expr: ast.Expr, scope: _Scope) -> Optional[ct.CType]:
         if isinstance(expr, ast.IntLiteral):
-            return ct.LONG if abs(expr.value) > 0x7FFFFFFF else ct.INT
+            return ct.literal_int_type(expr.value)
         if isinstance(expr, ast.FloatLiteral):
             return ct.DOUBLE
         if isinstance(expr, ast.CharLiteral):
@@ -362,6 +370,11 @@ class TypeChecker:
             if left.is_float() or right.is_float():
                 self._error(f"operator {expr.op!r} applied to floating point operand")
                 return ct.INT
+        if expr.op in ("<<", ">>") and left.is_integer():
+            # Shifts take the promoted LEFT operand's type — the count does
+            # not participate in the usual arithmetic conversions.  This is
+            # the same rule lowering and the constant folder apply.
+            return ct.integer_promote(left)
         if left.is_arithmetic() and right.is_arithmetic():
             return ct.usual_arithmetic_conversion(
                 ct.integer_promote(left), ct.integer_promote(right)
@@ -390,6 +403,9 @@ class TypeChecker:
         if expr.op == "~":
             if operand.is_float():
                 self._error("operator '~' applied to floating point operand")
+            return ct.integer_promote(operand)
+        if expr.op in ("-", "+") and operand.is_integer():
+            # Unary +/- apply the integer promotions: -c on a char is an int.
             return ct.integer_promote(operand)
         return operand
 

@@ -1,0 +1,189 @@
+"""Differential fuzzing CLI: ``python -m repro.testing.fuzz``.
+
+Generates seeded random Mini-C programs, runs each through the four-way
+oracle (interpreter / optimised IR / native -O0 / native -O3) and, on the
+first divergence, minimises the failing program with the delta-debugging
+reducer and prints a ready-to-commit reproducer.
+
+Typical invocations::
+
+    python -m repro.testing.fuzz --seed 0 --count 500
+    python -m repro.testing.fuzz --seed 3 --count 50 --max-stmts 6 --backend none
+    python -m repro.testing.fuzz --seed 0 --count 20 --inject-miscompile
+
+Exit status is 0 when every case agreed on every substrate, 1 when a
+divergence was found (or a leg failed to build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.testing.generator import ProgramGenerator
+from repro.testing.oracle import Oracle, OracleError
+from repro.testing.reduce import oracle_interestingness, reduce_case
+
+#: Offset that decorrelates per-case generator seeds from the base seed.
+_SEED_STRIDE = 1 << 20
+
+
+def case_seed(base_seed: int, index: int) -> int:
+    """The deterministic per-case seed for case ``index`` of a run."""
+    return base_seed * _SEED_STRIDE + index
+
+
+def strip_cltd(assembly: str) -> str:
+    """Deliberate miscompile: drop the first ``cltd`` (the sign extension of
+    ``%eax`` into ``%edx`` that must precede ``idivl``), leaving whatever
+    garbage ``%edx`` holds to corrupt the quotient."""
+    lines = assembly.splitlines()
+    for index, line in enumerate(lines):
+        if line.strip() == "cltd":
+            del lines[index]
+            break
+    return "\n".join(lines) + "\n"
+
+
+def _build_oracle(args: argparse.Namespace) -> Oracle:
+    backends: List[str]
+    if args.backend == "none":
+        backends = []
+    elif args.backend == "both":
+        backends = ["x86", "arm"]
+    else:
+        backends = [args.backend]
+    asm_transform = strip_cltd if args.inject_miscompile else None
+    return Oracle(
+        backends=backends,
+        asm_transform=asm_transform,
+        require_native=args.require_native,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description="Property-based differential fuzzing of the Mini-C substrates.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    parser.add_argument("--count", type=int, default=100, help="number of programs")
+    parser.add_argument(
+        "--max-stmts", type=int, default=12, help="statement budget per program"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("x86", "arm", "both", "none"),
+        default="x86",
+        help="native legs to run (default x86; 'none' keeps interp vs IR only)",
+    )
+    parser.add_argument(
+        "--require-native",
+        action="store_true",
+        help="fail instead of silently dropping unavailable native toolchains",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="keep fuzzing after a divergence instead of stopping at the first",
+    )
+    parser.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="report divergences without minimising them",
+    )
+    parser.add_argument(
+        "--reduce-attempts",
+        type=int,
+        default=600,
+        help="oracle-invocation budget for the reducer (default 600)",
+    )
+    parser.add_argument(
+        "--inject-miscompile",
+        action="store_true",
+        help="strip the first cltd from the x86 output (harness self-test: "
+        "the oracle must catch and reduce the resulting miscompile)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        oracle = _build_oracle(args)
+    except OracleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"legs: {', '.join(oracle.legs())}")
+    if len(oracle.legs()) < 2:
+        print("error: fewer than two legs available; nothing to compare", file=sys.stderr)
+        return 2
+    if args.inject_miscompile and "x86-O0" not in oracle.legs():
+        # The injected bug lives in x86 assembly; without that leg the
+        # self-test would silently test nothing and report success.
+        print(
+            "error: --inject-miscompile needs the x86 native leg "
+            "(use --backend x86/both on an x86-64 host with gcc)",
+            file=sys.stderr,
+        )
+        return 2
+
+    started = time.time()
+    failures = 0
+    checked = 0
+    for index in range(args.count):
+        checked = index + 1
+        seed = case_seed(args.seed, index)
+        case = ProgramGenerator(seed, max_stmts=args.max_stmts).generate()
+        try:
+            divergence = oracle.check_case(case.source, case.name, case.inputs)
+        except Exception as exc:  # build failures are findings, not crashes
+            failures += 1
+            print(f"\ncase {index} (seed {seed}): leg failed to build: {exc}")
+            print(case.source)
+            if not args.keep_going:
+                break
+            continue
+        if divergence is None:
+            if (index + 1) % 25 == 0:
+                rate = (index + 1) / (time.time() - started)
+                print(f"  {index + 1}/{args.count} cases ok ({rate:.1f}/s)")
+            continue
+
+        failures += 1
+        print(f"\ncase {index} (seed {seed}) DIVERGES:")
+        print(divergence.describe())
+        print("--- program ---")
+        print(case.source)
+        if not args.no_reduce:
+            print("--- reducing ---")
+            predicate = oracle_interestingness(oracle, case.name)
+            result = reduce_case(
+                case.source,
+                case.name,
+                case.inputs,
+                predicate,
+                max_attempts=args.reduce_attempts,
+            )
+            final = oracle.check_case(result.source, case.name, result.inputs)
+            print(
+                f"reduced after {result.attempts} attempts "
+                f"({result.accepted} accepted edits) to "
+                f"{len(result.source.strip().splitlines())} lines:"
+            )
+            print(result.source)
+            print(f"inputs: {result.inputs!r}")
+            if final is not None:
+                print(final.describe())
+        if not args.keep_going:
+            break
+
+    elapsed = time.time() - started
+    if failures:
+        print(f"\n{failures} diverging case(s) out of {checked} in {elapsed:.1f}s")
+        return 1
+    print(f"\nall {checked} cases agree on every leg ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

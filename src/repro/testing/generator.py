@@ -1,0 +1,420 @@
+"""Seeded random well-typed Mini-C program generator.
+
+The sampler builds a :class:`repro.lang.ast_nodes` tree directly — so every
+program is well-typed by construction — then renders it through the real
+pretty printer and re-parses/re-typechecks the text, guaranteeing that what
+the differential oracle executes round-trips through the production lexer,
+parser and type checker.
+
+Design constraints that keep every generated program executable on all four
+oracle substrates (interpreter, IR executor, native -O0/-O3):
+
+* **Termination** — loops are counted with literal trip counts and their
+  induction variables are never assigned in the body, so the interpreter's
+  step budget is never at risk.
+* **No traps** — every division/modulo divisor has the shape
+  ``(expr & mask) + k`` with ``k >= 1``, which is always a small positive
+  number: no division by zero, and no ``INT_MIN / -1`` (the one signed
+  division x86 faults on).  Shift counts are masked the same way the
+  hardware and :func:`repro.lang.ctypes.int_binop` mask them, so any count
+  is well-defined and identical everywhere.
+* **No uninitialised reads** — every local is initialised at its
+  declaration (native stack frames hold garbage; the interpreter's memory
+  is zero-filled).
+
+Within those constraints the sampler deliberately leans into the corners
+the width-annotated IR has to get right: ``char``/``short`` locals and
+parameters of both signednesses, mixed signed/unsigned comparisons and
+arithmetic, narrowing casts, compound assignments, pre/post increments,
+pointer-to-scalar out-parameters and initialised globals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+from repro.lang.typecheck import check_program
+
+#: The integer scalar types the sampler draws from.
+SCALAR_TYPES: Tuple[ct.IntType, ...] = (
+    ct.CHAR,
+    ct.UCHAR,
+    ct.SHORT,
+    ct.USHORT,
+    ct.INT,
+    ct.UINT,
+    ct.LONG,
+    ct.ULONG,
+)
+
+#: Wider accumulator-friendly types used for locals that aggregate results.
+ACC_TYPES: Tuple[ct.IntType, ...] = (ct.INT, ct.UINT, ct.LONG, ct.ULONG)
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+_ARITH_OPS = ("+", "-", "*", "&", "|", "^")
+_COMPOUND_OPS = ("+=", "-=", "*=", "&=", "|=", "^=")
+
+
+@dataclass
+class GeneratedCase:
+    """One fuzzing case: a program, its entry point and argument vectors."""
+
+    source: str
+    name: str
+    inputs: List[Tuple]
+    seed: int
+
+
+@dataclass
+class _Var:
+    name: str
+    type: ct.CType
+    mutable: bool = True
+    is_pointer: bool = False
+
+
+@dataclass
+class _Scope:
+    """Variables visible while generating one statement sequence."""
+
+    vars: List[_Var] = field(default_factory=list)
+
+    def readable(self) -> List[_Var]:
+        return list(self.vars)
+
+    def assignable(self) -> List[_Var]:
+        return [v for v in self.vars if v.mutable]
+
+
+class ProgramGenerator:
+    """Deterministic random Mini-C sampler (one instance per seed)."""
+
+    def __init__(
+        self,
+        seed: int,
+        max_stmts: int = 12,
+        max_depth: int = 3,
+        max_loop_nest: int = 2,
+        function_name: str = "fuzz_target",
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.max_stmts = max(1, max_stmts)
+        self.max_depth = max(1, max_depth)
+        self.max_loop_nest = max_loop_nest
+        self.function_name = function_name
+        self._counter = 0
+        self._loop_depth = 0
+        self.globals: List[_Var] = []
+
+    # -- naming ---------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # -- literals -------------------------------------------------------------
+
+    def _literal_value(self, t: ct.IntType) -> int:
+        """A literal that is interesting for ``t`` but safe to spell in source.
+
+        Magnitudes stay strictly below 2**31 for narrow types (so the
+        literal's own C type is ``int``) and below 2**62 for long types.
+        """
+        rng = self.rng
+        choice = rng.random()
+        if choice < 0.35:
+            return rng.randint(0, 9)
+        if choice < 0.55:
+            return rng.randint(-64, 200) if not t.unsigned else rng.randint(0, 255)
+        if choice < 0.8:
+            boundaries = [1, 2, 7, 100, 127, 128, 255, 256, 32767, 32768, 65535]
+            value = rng.choice(boundaries)
+            return value if t.unsigned or rng.random() < 0.7 else -value
+        if t.rank >= ct.LONG.rank and choice < 0.9:
+            return rng.randint(-(2**62), 2**62)
+        value = rng.randint(0, 2**31 - 1)
+        return value if t.unsigned or rng.random() < 0.6 else -value
+
+    def _int_literal(self, t: Optional[ct.IntType] = None) -> ast.IntLiteral:
+        return ast.IntLiteral(self._literal_value(t or ct.INT))
+
+    # -- expressions ----------------------------------------------------------
+
+    def _leaf(self, scope: _Scope) -> ast.Expr:
+        rng = self.rng
+        readable = scope.readable()
+        if readable and rng.random() < 0.72:
+            var = rng.choice(readable)
+            if var.is_pointer:
+                return ast.UnaryOp("*", ast.Identifier(var.name))
+            return ast.Identifier(var.name)
+        return self._int_literal(self.rng.choice(SCALAR_TYPES))
+
+    def _guarded_divisor(self, scope: _Scope, depth: int) -> ast.Expr:
+        """An always-positive, never-huge divisor: ``(expr & mask) + k``."""
+        mask = self.rng.choice((3, 7, 15, 31, 63))
+        k = self.rng.randint(1, 4)
+        inner = self._expr(scope, depth - 1)
+        return ast.BinaryOp("+", ast.BinaryOp("&", inner, ast.IntLiteral(mask)), ast.IntLiteral(k))
+
+    def _shift_count(self, scope: _Scope, depth: int) -> ast.Expr:
+        if self.rng.random() < 0.5:
+            return ast.IntLiteral(self.rng.randint(0, 31))
+        mask = self.rng.choice((7, 15, 31))
+        return ast.BinaryOp("&", self._expr(scope, depth - 1), ast.IntLiteral(mask))
+
+    def _comparison(self, scope: _Scope, depth: int) -> ast.Expr:
+        op = self.rng.choice(_COMPARISONS)
+        return ast.BinaryOp(op, self._expr(scope, depth - 1), self._expr(scope, depth - 1))
+
+    def _condition(self, scope: _Scope, depth: int) -> ast.Expr:
+        rng = self.rng
+        choice = rng.random()
+        if choice < 0.55:
+            return self._comparison(scope, depth)
+        if choice < 0.7:
+            op = rng.choice(("&&", "||"))
+            return ast.BinaryOp(op, self._comparison(scope, depth), self._comparison(scope, depth))
+        if choice < 0.8:
+            return ast.UnaryOp("!", self._expr(scope, depth - 1))
+        return self._expr(scope, depth - 1)
+
+    def _expr(self, scope: _Scope, depth: int) -> ast.Expr:
+        """A random integer-valued expression of bounded depth."""
+        rng = self.rng
+        if depth <= 0:
+            return self._leaf(scope)
+        choice = rng.random()
+        if choice < 0.3:
+            return self._leaf(scope)
+        if choice < 0.62:
+            op = rng.choice(_ARITH_OPS)
+            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._expr(scope, depth - 1))
+        if choice < 0.72:
+            op = rng.choice(("/", "%"))
+            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._guarded_divisor(scope, depth))
+        if choice < 0.8:
+            op = rng.choice(("<<", ">>"))
+            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._shift_count(scope, depth))
+        if choice < 0.86:
+            op = rng.choice(("-", "~", "!"))
+            return ast.UnaryOp(op, self._expr(scope, depth - 1))
+        if choice < 0.92:
+            target = rng.choice(SCALAR_TYPES)
+            return ast.Cast(target, self._expr(scope, depth - 1))
+        if choice < 0.97:
+            return self._comparison(scope, depth)
+        return ast.Conditional(
+            self._condition(scope, depth - 1),
+            self._expr(scope, depth - 1),
+            self._expr(scope, depth - 1),
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def _declaration(self, scope: _Scope) -> ast.Stmt:
+        t = self.rng.choice(SCALAR_TYPES)
+        name = self._fresh("v")
+        init = self._expr(scope, self.max_depth - 1)
+        scope.vars.append(_Var(name, t))
+        return ast.Declaration(name, t, init)
+
+    def _assignment(self, scope: _Scope) -> Optional[ast.Stmt]:
+        targets = scope.assignable()
+        if not targets:
+            return None
+        var = self.rng.choice(targets)
+        target: ast.Expr
+        if var.is_pointer:
+            target = ast.UnaryOp("*", ast.Identifier(var.name))
+        else:
+            target = ast.Identifier(var.name)
+        roll = self.rng.random()
+        if roll < 0.55:
+            value = self._expr(scope, self.max_depth - 1)
+            return ast.ExprStmt(ast.Assignment("=", target, value))
+        if roll < 0.8:
+            op = self.rng.choice(_COMPOUND_OPS)
+            value = self._expr(scope, self.max_depth - 2)
+            return ast.ExprStmt(ast.Assignment(op, target, value))
+        if roll < 0.9:
+            op = self.rng.choice(("/=", "%="))
+            return ast.ExprStmt(ast.Assignment(op, target, self._guarded_divisor(scope, 2)))
+        op = self.rng.choice(("<<=", ">>="))
+        return ast.ExprStmt(ast.Assignment(op, target, self._shift_count(scope, 2)))
+
+    def _incdec(self, scope: _Scope) -> Optional[ast.Stmt]:
+        targets = [v for v in scope.assignable() if not v.is_pointer]
+        if not targets:
+            return None
+        var = self.rng.choice(targets)
+        op = self.rng.choice(("++", "--"))
+        node: ast.Expr
+        if self.rng.random() < 0.5:
+            node = ast.UnaryOp(op, ast.Identifier(var.name))
+        else:
+            node = ast.PostfixOp(op, ast.Identifier(var.name))
+        return ast.ExprStmt(node)
+
+    def _if(self, scope: _Scope, budget: int) -> ast.Stmt:
+        # Branches get a copy of the scope: declarations inside a block are
+        # invisible after it in C, so they must not leak into the generator's
+        # view of what later statements may reference.
+        cond = self._condition(scope, self.max_depth - 1)
+        then = ast.Block(self._stmts(_Scope(list(scope.vars)), max(1, budget // 2)))
+        otherwise = None
+        if self.rng.random() < 0.45:
+            otherwise = ast.Block(self._stmts(_Scope(list(scope.vars)), max(1, budget // 2)))
+        return ast.If(cond, then, otherwise)
+
+    def _for_loop(self, scope: _Scope, budget: int) -> ast.Stmt:
+        name = self._fresh("i")
+        trip = self.rng.randint(1, 8)
+        self._loop_depth += 1
+        inner = _Scope(list(scope.vars) + [_Var(name, ct.INT, mutable=False)])
+        body = ast.Block(self._stmts(inner, max(1, budget // 2)))
+        self._loop_depth -= 1
+        init = ast.Declaration(name, ct.INT, ast.IntLiteral(0))
+        cond = ast.BinaryOp("<", ast.Identifier(name), ast.IntLiteral(trip))
+        step: ast.Expr
+        if self.rng.random() < 0.8:
+            step = ast.PostfixOp("++", ast.Identifier(name))
+        else:
+            step = ast.Assignment("+=", ast.Identifier(name), ast.IntLiteral(1))
+        return ast.For(init, cond, step, body)
+
+    def _while_loop(self, scope: _Scope, budget: int) -> List[ast.Stmt]:
+        name = self._fresh("t")
+        trip = self.rng.randint(1, 8)
+        counter = ast.Declaration(name, ct.INT, ast.IntLiteral(trip))
+        self._loop_depth += 1
+        inner = _Scope(list(scope.vars) + [_Var(name, ct.INT, mutable=False)])
+        body_stmts = self._stmts(inner, max(1, budget // 2))
+        self._loop_depth -= 1
+        decrement = ast.ExprStmt(
+            ast.Assignment("=", ast.Identifier(name), ast.BinaryOp("-", ast.Identifier(name), ast.IntLiteral(1)))
+        )
+        cond = ast.BinaryOp(">", ast.Identifier(name), ast.IntLiteral(0))
+        loop = ast.While(cond, ast.Block(body_stmts + [decrement]))
+        if self.rng.random() < 0.25:
+            loop = ast.DoWhile(ast.Block(body_stmts + [decrement]), cond)
+        return [counter, loop]
+
+    def _stmts(self, scope: _Scope, budget: int) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        remaining = budget
+        while remaining > 0:
+            roll = self.rng.random()
+            produced: List[ast.Stmt] = []
+            if roll < 0.3:
+                produced = [self._declaration(scope)]
+            elif roll < 0.62:
+                stmt = self._assignment(scope)
+                produced = [stmt] if stmt is not None else [self._declaration(scope)]
+            elif roll < 0.72:
+                stmt = self._incdec(scope)
+                produced = [stmt] if stmt is not None else [self._declaration(scope)]
+            elif roll < 0.86:
+                produced = [self._if(scope, remaining)]
+                remaining -= 1  # branches are costlier
+            elif self._loop_depth < self.max_loop_nest:
+                if self.rng.random() < 0.6:
+                    produced = [self._for_loop(scope, remaining)]
+                else:
+                    produced = self._while_loop(scope, remaining)
+                remaining -= 1
+            else:
+                produced = [self._declaration(scope)]
+            stmts.extend(produced)
+            remaining -= len(produced)
+        return stmts
+
+    # -- whole programs -------------------------------------------------------
+
+    def _make_globals(self) -> List[ast.Declaration]:
+        decls: List[ast.Declaration] = []
+        for _ in range(self.rng.randint(0, 2)):
+            t = self.rng.choice(SCALAR_TYPES)
+            name = self._fresh("g")
+            init: Optional[ast.Node] = None
+            if self.rng.random() < 0.6:
+                init = ast.IntLiteral(t.wrap(self._literal_value(t)))
+            self.globals.append(_Var(name, t))
+            decls.append(ast.Declaration(name, t, init))
+        return decls
+
+    def _make_params(self) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        for _ in range(self.rng.randint(1, 3)):
+            params.append(ast.Param(self._fresh("p"), self.rng.choice(SCALAR_TYPES)))
+        for _ in range(self.rng.randint(0, 2)):
+            pointee = self.rng.choice(SCALAR_TYPES)
+            params.append(ast.Param(self._fresh("q"), ct.PointerType(pointee)))
+        self.rng.shuffle(params)
+        return params
+
+    def _argument_for(self, t: ct.CType):
+        if isinstance(t, ct.PointerType):
+            pointee = t.pointee
+            assert isinstance(pointee, ct.IntType)
+            return [self._argument_for(pointee)]
+        assert isinstance(t, ct.IntType)
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.25:
+            return rng.randint(0, 3)
+        if roll < 0.5:
+            return rng.randint(t.min_value(), t.max_value())
+        if roll < 0.75:
+            return rng.choice([t.min_value(), t.max_value(), t.max_value() - 1])
+        return rng.choice([-1, 0, 1, 7, 100, -100 if not t.unsigned else 100])
+
+    def generate(self) -> GeneratedCase:
+        """Build one program plus argument vectors and round-trip it."""
+        global_decls = self._make_globals()
+        params = self._make_params()
+        return_type = self.rng.choice(ACC_TYPES)
+
+        scope = _Scope(
+            [
+                _Var(p.name, p.type, is_pointer=isinstance(p.type, ct.PointerType))
+                for p in params
+            ]
+            + list(self.globals)
+        )
+        body_stmts = self._stmts(scope, self.rng.randint(3, self.max_stmts))
+        body_stmts.append(ast.Return(self._expr(scope, self.max_depth)))
+
+        func = ast.FunctionDef(
+            self.function_name, return_type, params, ast.Block(body_stmts)
+        )
+        program = ast.Program(list(global_decls) + [func])
+        source = print_program(program)
+
+        # Round-trip: the text must survive the real front end unchanged in
+        # meaning, and type-check cleanly.
+        reparsed = parse_program(source)
+        result = check_program(reparsed)
+        if result.errors or not result.missing.is_empty():
+            raise AssertionError(
+                f"generator produced an ill-typed program (seed {self.seed}): "
+                f"{result.errors} / missing {result.missing}\n{source}"
+            )
+
+        inputs = [
+            tuple(self._argument_for(p.type) for p in params)
+            for _ in range(self.rng.randint(3, 5))
+        ]
+        return GeneratedCase(source, self.function_name, inputs, self.seed)
+
+
+def generate_case(seed: int, max_stmts: int = 12) -> GeneratedCase:
+    """Convenience wrapper: one deterministic case for ``seed``."""
+    return ProgramGenerator(seed, max_stmts=max_stmts).generate()

@@ -1,0 +1,298 @@
+"""Direct executor for the compiler's three-address IR.
+
+This is the oracle leg that exercises *everything the compiler does except
+the backends*: AST optimisation, lowering, and — at -O3 — the IR constant
+folder, copy propagation, strength reduction, dead-code elimination and
+jump threading.  Executing the optimised IR and comparing its observable
+state against the source interpreter pins the whole middle-end down without
+needing an assembler on the host.
+
+The executor deliberately reuses the interpreter's machinery for everything
+that is *not* the IR itself — memory, global allocation (initialisers
+honoured), argument marshalling and builtin calls — so a divergence can
+only come from the compiler pipeline under test, never from a second
+implementation of the runtime model.
+
+Virtual-register values are stored exactly per the vreg invariant: a
+``bits``-wide signed value is held as its sign-extension (a negative Python
+int), an unsigned one as its zero-extension — the same domains
+:func:`repro.lang.ctypes.int_binop` operates in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler import ir
+from repro.compiler.lowering import Lowerer, LoweringError
+from repro.compiler.opt import optimize_function_ast, optimize_ir
+from repro.lang import ast_nodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.interpreter import (
+    CInterpreterError,
+    ExecutionResult,
+    Interpreter,
+    LValue,
+    RuntimeLimitExceeded,
+)
+from repro.lang.parser import parse_program
+
+
+class IRExecError(CInterpreterError):
+    """Raised when IR execution traps (division by zero, bad memory, ...)."""
+
+
+def _wrap_to(bits: int, unsigned: bool, value: int) -> int:
+    return ct.int_type_for_bits(bits, unsigned).wrap(int(value))
+
+
+class IRExecutor:
+    """Execute functions of a program by interpreting their lowered IR."""
+
+    def __init__(
+        self,
+        program: Union[str, ast.Program],
+        opt_level: str = "O3",
+        max_steps: int = 2_000_000,
+        lowering_cache: Optional[Dict[str, Tuple[ir.IRFunction, Dict[str, str]]]] = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.opt_level = opt_level
+        self.max_steps = max_steps
+        self.steps = 0
+        # The interpreter provides memory, typed global allocation (with
+        # initialisers applied), marshalling and builtins; its AST evaluator
+        # is never invoked for the function under test.
+        self.interp = Interpreter(program)
+        self.memory = self.interp.memory
+        # Execution never mutates the lowered IR, so callers running the
+        # same program on many inputs can share one cache across executors.
+        self._lowered: Dict[str, Tuple[ir.IRFunction, Dict[str, str]]] = (
+            lowering_cache if lowering_cache is not None else {}
+        )
+
+    # -- lowering -------------------------------------------------------------
+
+    def _function_ir(self, name: str) -> Tuple[ir.IRFunction, Dict[str, str]]:
+        if name in self._lowered:
+            return self._lowered[name]
+        func = self.program.function(name)
+        if func is None:
+            raise IRExecError(f"no function named {name!r}")
+        if self.opt_level == "O3":
+            func = optimize_function_ast(func)
+        try:
+            lowerer = Lowerer(self.program, func, promote_scalars=(self.opt_level == "O3"))
+            ir_func, strings = lowerer.lower()
+        except LoweringError as exc:
+            raise IRExecError(f"lowering error: {exc}") from exc
+        if self.opt_level == "O3":
+            optimize_ir(ir_func)
+        self._lowered[name] = (ir_func, strings)
+        return ir_func, strings
+
+    # -- public API -----------------------------------------------------------
+
+    def run_function(self, name: str, args: Sequence) -> ExecutionResult:
+        """Execute ``name`` on ``args``; same reporting as the interpreter."""
+        func = self.program.function(name)
+        if func is None:
+            raise IRExecError(f"no function named {name!r}")
+        arg_cells: List[Tuple[object, Optional[LValue], Optional[int]]] = []
+        call_values: List[Union[int, float]] = []
+        for param, value in zip(func.params, list(args) + [0] * len(func.params)):
+            ptype = ct.decay(self.interp._resolve_type(param.type))
+            marshalled, backing, length = self.interp._marshal_argument(value, ptype)
+            call_values.append(marshalled)
+            arg_cells.append((value, backing, length))
+
+        self.steps = 0
+        ret = self._call(name, call_values)
+
+        return_type = self.interp._resolve_type(func.return_type)
+        if ct.is_void(return_type):
+            ret_value: Union[int, float, None] = None
+        elif isinstance(return_type, ct.IntType):
+            ret_value = return_type.wrap(int(ret or 0))
+        elif isinstance(return_type, ct.FloatType):
+            ret_value = float(ret or 0.0)
+        else:
+            ret_value = ret if ret is not None else 0
+
+        final_args: List[object] = []
+        for original, backing, length in arg_cells:
+            if backing is None:
+                final_args.append(original)
+            else:
+                final_args.append(self.interp._read_back_argument(backing, length, original))
+        final_globals = {g: self.interp.get_global(g) for g in self.interp.global_addrs}
+        return ExecutionResult(ret_value, final_args, final_globals, self.steps)
+
+    # -- execution ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            # Distinct from a semantic trap: the oracle treats budget
+            # exhaustion as inconclusive, not as an observation.
+            raise RuntimeLimitExceeded(f"exceeded {self.max_steps} IR execution steps")
+
+    def _call(self, name: str, args: List[Union[int, float]]) -> Union[int, float, None]:
+        if self.program.function(name) is None:
+            # Library call: reuse the interpreter's builtin table (it reads
+            # and writes the shared memory).
+            return self.interp._call_builtin(name, list(args), None, {})
+
+        func, strings = self._function_ir(name)
+        regs: Dict[ir.VReg, Union[int, float]] = {}
+        for preg, value in zip(func.params, args):
+            regs[preg] = self._coerce(preg, value)
+        slot_addrs = {
+            slot.name: self.memory.allocate(max(slot.size, 1))
+            for slot in func.slots.values()
+        }
+        labels = {
+            instr.name: index
+            for index, instr in enumerate(func.instrs)
+            if isinstance(instr, ir.IRLabel)
+        }
+
+        def value_of(operand: ir.Operand) -> Union[int, float]:
+            if isinstance(operand, ir.VReg):
+                if operand not in regs:
+                    raise IRExecError(f"use of undefined vreg {operand}")
+                return regs[operand]
+            return operand
+
+        pc = 0
+        instrs = func.instrs
+        while pc < len(instrs):
+            self._tick()
+            instr = instrs[pc]
+            pc += 1
+            if isinstance(instr, (ir.IRLabel,)):
+                continue
+            if isinstance(instr, ir.IRConst):
+                regs[instr.dst] = self._coerce(instr.dst, instr.value)
+            elif isinstance(instr, ir.IRMove):
+                regs[instr.dst] = self._coerce(instr.dst, value_of(instr.src))
+            elif isinstance(instr, ir.IRBinOp):
+                regs[instr.dst] = self._binop(instr, value_of(instr.left), value_of(instr.right))
+            elif isinstance(instr, ir.IRCmp):
+                regs[instr.dst] = self._cmp(instr, value_of(instr.left), value_of(instr.right))
+            elif isinstance(instr, ir.IRUnary):
+                regs[instr.dst] = self._unary(instr, value_of(instr.src))
+            elif isinstance(instr, ir.IRCast):
+                regs[instr.dst] = self._cast(instr, value_of(instr.src))
+            elif isinstance(instr, ir.IRLoad):
+                addr = int(value_of(instr.addr)) + instr.offset
+                if instr.is_float:
+                    regs[instr.dst] = self.memory.read_float(addr, instr.size)
+                else:
+                    value = self.memory.read_int(addr, instr.size, signed=instr.signed)
+                    regs[instr.dst] = self._coerce(instr.dst, value)
+            elif isinstance(instr, ir.IRStore):
+                addr = int(value_of(instr.addr)) + instr.offset
+                src = value_of(instr.src)
+                if instr.is_float:
+                    self.memory.write_float(addr, float(src), instr.size)
+                else:
+                    self.memory.write_int(addr, int(src), instr.size)
+            elif isinstance(instr, ir.IRFrameAddr):
+                regs[instr.dst] = slot_addrs[instr.slot]
+            elif isinstance(instr, ir.IRGlobalAddr):
+                regs[instr.dst] = self._symbol_addr(instr.symbol, strings)
+            elif isinstance(instr, ir.IRCall):
+                result = self._call(instr.name, [value_of(a) for a in instr.args])
+                if instr.dst is not None:
+                    regs[instr.dst] = self._coerce(instr.dst, 0 if result is None else result)
+            elif isinstance(instr, ir.IRJump):
+                pc = labels[instr.target]
+            elif isinstance(instr, ir.IRBranch):
+                taken = value_of(instr.cond) != 0
+                pc = labels[instr.true_target if taken else instr.false_target]
+            elif isinstance(instr, ir.IRRet):
+                if instr.value is None:
+                    return None
+                return value_of(instr.value)
+            else:
+                raise IRExecError(f"cannot execute IR instruction {type(instr).__name__}")
+        return None
+
+    # -- instruction semantics -------------------------------------------------
+
+    def _coerce(self, dst: ir.VReg, value: Union[int, float]) -> Union[int, float]:
+        if dst.is_float:
+            return float(value)
+        return _wrap_to(dst.bits, dst.unsigned, int(value))
+
+    def _binop(
+        self, instr: ir.IRBinOp, left: Union[int, float], right: Union[int, float]
+    ) -> Union[int, float]:
+        if instr.is_float:
+            lf, rf = float(left), float(right)
+            if instr.op == "add":
+                return lf + rf
+            if instr.op == "sub":
+                return lf - rf
+            if instr.op == "mul":
+                return lf * rf
+            if instr.op == "div":
+                if rf == 0.0:
+                    raise IRExecError("floating point division by zero")
+                return lf / rf
+            raise IRExecError(f"unsupported float binop {instr.op!r}")
+        op = {
+            "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+            "shl": "<<", "shr": ">>", "and": "&", "or": "|", "xor": "^",
+        }[instr.op]
+        try:
+            value = ct.int_binop(op, int(left), int(right), instr.bits, instr.unsigned)
+        except ZeroDivisionError as exc:
+            raise IRExecError(str(exc)) from exc
+        return self._coerce(instr.dst, value)
+
+    def _cmp(self, instr: ir.IRCmp, left, right) -> int:
+        if instr.is_float:
+            lv: Union[int, float] = float(left)
+            rv: Union[int, float] = float(right)
+        else:
+            lv = _wrap_to(instr.bits, instr.unsigned, int(left))
+            rv = _wrap_to(instr.bits, instr.unsigned, int(right))
+        table = {
+            "eq": lv == rv,
+            "ne": lv != rv,
+            "lt": lv < rv,
+            "le": lv <= rv,
+            "gt": lv > rv,
+            "ge": lv >= rv,
+        }
+        return 1 if table[instr.op] else 0
+
+    def _unary(self, instr: ir.IRUnary, value: Union[int, float]) -> Union[int, float]:
+        if instr.is_float:
+            return -float(value)
+        operand = _wrap_to(instr.bits, instr.unsigned, int(value))
+        result = -operand if instr.op == "neg" else ~operand
+        return _wrap_to(instr.bits, instr.unsigned, result)
+
+    def _cast(self, instr: ir.IRCast, value: Union[int, float]) -> Union[int, float]:
+        if instr.kind == "i2f":
+            return float(int(value))
+        if instr.kind == "f2i":
+            return _wrap_to(64, False, int(float(value)))
+        if instr.kind in ir.WIDTH_CASTS:
+            bits, unsigned = ir.WIDTH_CASTS[instr.kind]
+            return _wrap_to(bits, unsigned, int(value))
+        if instr.dst.is_float:
+            return float(value)
+        return self._coerce(instr.dst, value)
+
+    def _symbol_addr(self, symbol: str, strings: Dict[str, str]) -> int:
+        if symbol in strings:
+            return self.interp._intern_string(strings[symbol])
+        if symbol in self.interp.global_addrs:
+            return self.interp.global_addrs[symbol].addr
+        raise IRExecError(f"unknown symbol {symbol!r}")

@@ -1,0 +1,299 @@
+"""Four-way differential oracle for Mini-C programs.
+
+One case (program, entry point, argument vectors) is executed on up to four
+independent substrates and the first observable divergence is reported:
+
+* ``interp``   — the reference: :class:`repro.lang.interpreter.Interpreter`;
+* ``ir-O3``    — the lowered, -O3-optimised IR executed directly
+                 (:mod:`repro.testing.irexec`), pinning down the middle end
+                 including the IR constant folder;
+* ``x86-O0`` / ``x86-O3`` — the compiled assembly assembled with the system
+                 GNU toolchain and executed natively on the host via
+                 ``tests/native_runner.py`` (skipped when no toolchain);
+* ``arm-O0`` / ``arm-O3`` — optionally, the AArch64 output under
+                 ``qemu-aarch64`` with a cross toolchain.
+
+Observable state is the paper's IO-equivalence notion: return value,
+final contents of pointer arguments, and final global values.  A runtime
+trap (division by zero, step-budget exhaustion, SIGFPE) is itself an
+observation: every leg must trap for the comparison to pass.
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.interpreter import CInterpreterError, Interpreter, RuntimeLimitExceeded
+from repro.lang.parser import parse_program
+from repro.testing.irexec import IRExecutor
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Structural equality with float tolerance."""
+    if isinstance(left, float) or isinstance(right, float):
+        return math.isclose(float(left), float(right), rel_tol=1e-9, abs_tol=1e-9)
+    if isinstance(left, list) and isinstance(right, list):
+        return len(left) == len(right) and all(
+            values_equal(a, b) for a, b in zip(left, right)
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            values_equal(left[k], right[k]) for k in left
+        )
+    return left == right
+
+
+def _native_runner():
+    """Import ``tests/native_runner.py`` (adding the repo's tests/ dir if
+    needed — the testing package lives in src/, the native harness with the
+    test suite)."""
+    try:
+        import native_runner  # type: ignore[import-not-found]
+    except ImportError:
+        tests_dir = Path(__file__).resolve().parents[3] / "tests"
+        if tests_dir.is_dir() and str(tests_dir) not in sys.path:
+            sys.path.append(str(tests_dir))
+        import native_runner  # type: ignore[import-not-found]
+    return native_runner
+
+
+@dataclass
+class LegOutcome:
+    """What one substrate observed for one argument vector.
+
+    ``trap`` is a semantic observation (division by zero, SIGFPE) that every
+    leg must share; ``limit`` is resource exhaustion (step budget, execution
+    timeout) and renders the input inconclusive rather than divergent — the
+    substrates meter work in incomparable units.
+    """
+
+    leg: str
+    status: str  # "ok" | "trap" | "limit" | "error"
+    detail: str = ""
+    return_value: Any = None
+    arg_values: List[Any] = field(default_factory=list)
+    globals: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if self.status != "ok":
+            return f"{self.leg}: {self.status} ({self.detail})"
+        return f"{self.leg}: ret={self.return_value!r} args={self.arg_values!r} globals={self.globals!r}"
+
+
+@dataclass
+class Divergence:
+    """The first observed disagreement between two legs on one input."""
+
+    source: str
+    name: str
+    inputs: List[Tuple]
+    input_index: int
+    reference_leg: str
+    diverging_leg: str
+    field: str  # "status" | "return_value" | "arg_values" | "globals"
+    outcomes: List[LegOutcome]
+
+    def describe(self) -> str:
+        lines = [
+            f"divergence on input #{self.input_index} "
+            f"{self.inputs[self.input_index]!r}: "
+            f"{self.diverging_leg} disagrees with {self.reference_leg} on {self.field}",
+        ]
+        for outcome in self.outcomes:
+            lines.append("  " + outcome.summary())
+        return "\n".join(lines)
+
+
+class OracleError(Exception):
+    """Raised when a leg cannot be built at all (infrastructure failure)."""
+
+
+class Oracle:
+    """Differential harness comparing the available substrates.
+
+    ``backends`` selects the native legs: any subset of ``("x86", "arm")``.
+    Unavailable toolchains are dropped automatically (``require_native=True``
+    turns that into an error instead).  ``asm_transform`` rewrites the
+    generated assembly before it is assembled — used to prove the harness
+    catches deliberately injected miscompiles.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[str] = ("x86",),
+        workdir: Optional[Path] = None,
+        asm_transform: Optional[Callable[[str], str]] = None,
+        require_native: bool = False,
+        include_ir_leg: bool = True,
+    ) -> None:
+        self.asm_transform = asm_transform
+        self.include_ir_leg = include_ir_leg
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if workdir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="minic-fuzz-")
+            workdir = Path(self._tmp.name)
+        self.workdir = Path(workdir)
+        self.native_backends: List[str] = []
+        self._runner = None
+        wanted = [b for b in backends if b]
+        if wanted:
+            try:
+                runner = _native_runner()
+            except ImportError:
+                runner = None
+                if require_native:
+                    raise OracleError("tests/native_runner.py is not importable")
+            if runner is not None:
+                self._runner = runner
+                for backend in wanted:
+                    available = (
+                        runner.have_native_toolchain()
+                        if backend == "x86"
+                        else runner.have_arm_toolchain()
+                    )
+                    if available:
+                        self.native_backends.append(backend)
+                    elif require_native:
+                        raise OracleError(f"no toolchain for the {backend!r} backend")
+
+    def legs(self) -> List[str]:
+        names = ["interp"]
+        if self.include_ir_leg:
+            names.append("ir-O3")
+        for backend in self.native_backends:
+            names.extend([f"{backend}-O0", f"{backend}-O3"])
+        return names
+
+    # -- leg execution --------------------------------------------------------
+
+    def _run_interp(self, program, name: str, args: Tuple) -> LegOutcome:
+        try:
+            result = Interpreter(program).run_function(name, args)
+        except RuntimeLimitExceeded as exc:
+            return LegOutcome("interp", "limit", str(exc))
+        except CInterpreterError as exc:
+            return LegOutcome("interp", "trap", str(exc))
+        return LegOutcome(
+            "interp", "ok", "", result.return_value, result.arg_values, result.globals
+        )
+
+    def _run_ir(self, program, name: str, args: Tuple, lowering_cache: Dict) -> LegOutcome:
+        try:
+            result = IRExecutor(
+                program, opt_level="O3", lowering_cache=lowering_cache
+            ).run_function(name, args)
+        except RuntimeLimitExceeded as exc:
+            return LegOutcome("ir-O3", "limit", str(exc))
+        except CInterpreterError as exc:
+            return LegOutcome("ir-O3", "trap", str(exc))
+        return LegOutcome(
+            "ir-O3", "ok", "", result.return_value, result.arg_values, result.globals
+        )
+
+    def _build_native(self, source: str, name: str, inputs: List[Tuple], backend: str, opt: str):
+        assert self._runner is not None
+        return self._runner.NativeFunction(
+            source,
+            name,
+            inputs,
+            opt,
+            self.workdir,
+            isa=backend,
+            asm_transform=self.asm_transform,
+        )
+
+    def _run_native(self, native, leg: str, index: int) -> LegOutcome:
+        try:
+            result = native.run(index)
+        except subprocess.CalledProcessError as exc:
+            return LegOutcome(leg, "trap", f"exit status {exc.returncode}")
+        except subprocess.TimeoutExpired:
+            return LegOutcome(leg, "limit", "execution timeout")
+        return LegOutcome(
+            leg, "ok", "", result.return_value, result.arg_values, result.globals
+        )
+
+    # -- comparison -----------------------------------------------------------
+
+    @staticmethod
+    def _compare(reference: LegOutcome, other: LegOutcome) -> Optional[str]:
+        """The first field the two outcomes disagree on, or None."""
+        if reference.status == "limit" or other.status == "limit":
+            # Budget exhaustion on either side: inconclusive, not divergent
+            # (substrates meter work in different units, so one hitting its
+            # budget while another finishes proves nothing).
+            return None
+        if reference.status != other.status:
+            return "status"
+        if reference.status != "ok":
+            return None  # both trapped: equivalent observation
+        if reference.return_value is not None and not values_equal(
+            reference.return_value, other.return_value
+        ):
+            return "return_value"
+        if not values_equal(reference.arg_values, other.arg_values):
+            return "arg_values"
+        # Native legs only observe globals that appear in the assembly;
+        # compare the keys both sides report.
+        common = reference.globals.keys() & other.globals.keys()
+        for key in sorted(common):
+            if not values_equal(reference.globals[key], other.globals[key]):
+                return "globals"
+        return None
+
+    def check_case(
+        self, source: str, name: str, inputs: List[Tuple]
+    ) -> Optional[Divergence]:
+        """Run every leg on every input vector; report the first divergence.
+
+        Raises :class:`repro.compiler.CompileError` (or assembler errors as
+        :class:`OracleError`) when a leg cannot be built — the caller decides
+        whether that is interesting.
+        """
+        inputs = list(inputs)
+        # Parse once per case; interpreter/IR executors are rebuilt per
+        # input (each needs fresh global state) but share the AST and one
+        # lowering cache, so the middle end runs once per case, not per
+        # input vector.
+        program = parse_program(source)
+        lowering_cache: Dict = {}
+        natives: Dict[str, Any] = {}
+        for backend in self.native_backends:
+            for opt in ("O0", "O3"):
+                try:
+                    natives[f"{backend}-{opt}"] = self._build_native(
+                        source, name, inputs, backend, opt
+                    )
+                except subprocess.CalledProcessError as exc:
+                    stderr = (exc.stderr or b"").decode("utf-8", "replace")[-2000:]
+                    raise OracleError(
+                        f"native build failed for {backend}-{opt}: {stderr}"
+                    ) from exc
+
+        for index in range(len(inputs)):
+            outcomes = [self._run_interp(program, name, inputs[index])]
+            if self.include_ir_leg:
+                outcomes.append(self._run_ir(program, name, inputs[index], lowering_cache))
+            for leg, native in natives.items():
+                outcomes.append(self._run_native(native, leg, index))
+            reference = outcomes[0]
+            for other in outcomes[1:]:
+                mismatch = self._compare(reference, other)
+                if mismatch is not None:
+                    return Divergence(
+                        source,
+                        name,
+                        inputs,
+                        index,
+                        reference.leg,
+                        other.leg,
+                        mismatch,
+                        outcomes,
+                    )
+        return None

@@ -445,4 +445,206 @@ int postfix_value(int x) {
         "postfix_value",
         [(3,), (-7,), (0,)],
     ),
+    # -- char/short-heavy functions: register-promoted narrow locals, C's
+    # -- promotion-then-truncate patterns, and narrow unsigned wraparound.
+    (
+        """
+int char_acc(char *s, int n) {
+    char acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += s[i];
+    }
+    return acc;
+}
+""",
+        "char_acc",
+        [([100, 100, 100], 3), ([-128, -1, 127], 3), ([], 0)],
+    ),
+    (
+        """
+int short_div(short a, short b) {
+    short s = a + b;
+    return s / 3;
+}
+""",
+        "short_div",
+        [(32767, 1), (-32768, -1), (100, 23)],
+    ),
+    (
+        """
+int uchar_wrap(int n) {
+    unsigned char c = 250;
+    for (int i = 0; i < n; i++) {
+        c++;
+    }
+    return c;
+}
+""",
+        "uchar_wrap",
+        [(0,), (6,), (10,), (300,)],
+    ),
+    (
+        """
+int narrow_cmp(int x) {
+    unsigned char u = x;
+    char s = x;
+    int n = 0;
+    if (u == s) {
+        n += 1;
+    }
+    if (u > 100) {
+        n += 2;
+    }
+    if (s > 100) {
+        n += 4;
+    }
+    return n;
+}
+""",
+        "narrow_cmp",
+        [(0,), (100,), (200,), (-56,)],
+    ),
+    (
+        """
+int short_shift(short h, int s) {
+    short t = h << (s & 7);
+    return t - (h >> 1);
+}
+""",
+        "short_shift",
+        [(1000, 6), (-32768, 1), (257, 7)],
+    ),
+    (
+        """
+int short_mul_trunc(short a, short b) {
+    short p = a * b;
+    return p;
+}
+""",
+        "short_mul_trunc",
+        [(300, 300), (-200, 180), (181, 181)],
+    ),
+    (
+        """
+void caesar(char *s, int k) {
+    for (int i = 0; s[i] != 0; i++) {
+        s[i] = (char)(s[i] + k);
+    }
+}
+""",
+        "caesar",
+        [("abc", 3), ("xyz", 2), ("", 7)],
+    ),
+    (
+        """
+unsigned short ushort_hash(unsigned short h, int n) {
+    for (int i = 0; i < n; i++) {
+        h = h * 31 + 7;
+    }
+    return h;
+}
+""",
+        "ushort_hash",
+        [(0, 4), (65535, 3), (52, 8)],
+    ),
+    # -- scalar globals with nonzero initialisers: the backends must emit
+    # -- real .data initialisers (zero-filled .comm would silently diverge).
+    (
+        """
+int scale = 3;
+long offset = -7;
+
+long affine(int x) {
+    return scale * x + offset;
+}
+""",
+        "affine",
+        [(0,), (10,), (-100,)],
+    ),
+    (
+        """
+unsigned char seed_byte = 200;
+
+int bump_byte(int k) {
+    seed_byte += k;
+    return seed_byte;
+}
+""",
+        "bump_byte",
+        [(1,), (100,), (-5,)],
+    ),
+    # -- minimized fuzzer finds (python -m repro.testing.fuzz), kept as
+    # -- regressions.  Each one diverged between the interpreter and the
+    # -- compiled legs before the corresponding front-end fix.
+    (
+        # Shift results take the promoted LEFT operand's type: the outer <<
+        # must wrap at 32 bits even though the count was an unsigned long.
+        """
+unsigned long shift_type(unsigned int p, unsigned long s) {
+    return ((0 - p) >> s) << 1;
+}
+""",
+        "shift_type",
+        [(100, 0), (1, 1), (4294967295, 3)],
+    ),
+    (
+        # ~(0 << v) is the int -1, so the % happens at signed 32 bits.
+        """
+unsigned int not_shift_mod(unsigned long v) {
+    return ~(0 << v) % -2;
+}
+""",
+        "not_shift_mod",
+        [(0,), (3,)],
+    ),
+    (
+        # A long global initialiser must not be truncated by the
+        # interpreter's static typing of wide literals.
+        """
+long big_init = -2126999363038860482;
+
+long read_big_init(int unused) {
+    return big_init;
+}
+""",
+        "read_big_init",
+        [(0,)],
+    ),
+    (
+        # The ternary converts both branches to the common type
+        # (unsigned int here): c ? -2 : u is 4294967294.
+        """
+long pick_unsigned(int c) {
+    unsigned int u = 7;
+    return c ? -2 : u;
+}
+""",
+        "pick_unsigned",
+        [(1,), (0,)],
+    ),
+    (
+        # The value of ++c/--c is the value stored back into c, wrapped to
+        # char; at x = 127 the increment must yield -128, not 128.
+        """
+int prefix_char(int x) {
+    char c = (char) x;
+    int a = ++c;
+    int b = --c;
+    return a * 1000 + b * 10 + c;
+}
+""",
+        "prefix_char",
+        [(127,), (-128,), (0,)],
+    ),
+    (
+        # Unary minus evaluates in the promoted operand type: -u on an
+        # unsigned int is a 32-bit unsigned value, zero-extended to long.
+        """
+unsigned long neg_unsigned(unsigned int u) {
+    return -u;
+}
+""",
+        "neg_unsigned",
+        [(1,), (0,), (4294967295,)],
+    ),
 ]

@@ -17,7 +17,6 @@ makes the C caller do.
 
 from __future__ import annotations
 
-import math
 import platform
 import re
 import shutil
@@ -25,12 +24,13 @@ import struct
 import subprocess
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import compile_function
 from repro.lang import ctypes as ct
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import parse_program
+from repro.testing.oracle import values_equal
 
 
 def have_native_toolchain() -> bool:
@@ -40,6 +40,33 @@ def have_native_toolchain() -> bool:
         and shutil.which("as") is not None
         and shutil.which("gcc") is not None
     )
+
+
+def _arm_cross_compiler() -> Optional[str]:
+    for cc in ("aarch64-linux-gnu-gcc", "aarch64-unknown-linux-gnu-gcc"):
+        if shutil.which(cc):
+            return cc
+    return None
+
+
+def _arm_emulator() -> Optional[List[str]]:
+    if platform.machine() == "aarch64":
+        return []  # run directly on the host
+    for emulator in ("qemu-aarch64", "qemu-aarch64-static"):
+        if shutil.which(emulator):
+            return [emulator]
+    return None
+
+
+def have_arm_toolchain() -> bool:
+    """True when AArch64 output can be assembled and executed.
+
+    Either the host itself is aarch64 with a GNU toolchain, or a cross
+    compiler plus ``qemu-aarch64`` user-mode emulation is installed.
+    """
+    if platform.machine() == "aarch64":
+        return shutil.which("gcc") is not None
+    return _arm_cross_compiler() is not None and _arm_emulator() is not None
 
 
 # ---------------------------------------------------------------------------
@@ -149,12 +176,24 @@ def _scalar_literal(value: Any, t: ct.CType) -> str:
     return f"(long long)0x{wrapped & 0xFFFFFFFFFFFFFFFF:016x}ULL"
 
 
-def _comm_globals(assembly: str) -> List[Tuple[str, int]]:
-    """(name, size) for every ``.comm`` symbol the assembly defines."""
-    return [
+def _assembly_globals(assembly: str) -> List[Tuple[str, int]]:
+    """(name, size) for every global data symbol the assembly defines.
+
+    Covers both zero-filled ``.comm`` symbols and initialised ``.data``
+    objects (recognised by their ``.size name, N`` directive; function
+    symbols use ``.size name, .-name`` and so never match).
+    """
+    found = [
         (name, int(size))
         for name, size in re.findall(r"^\t\.comm\t([A-Za-z_]\w*),(\d+)", assembly, re.M)
     ]
+    found.extend(
+        (name, int(size))
+        for name, size in re.findall(
+            r"^\t\.size\t([A-Za-z_]\w*), (\d+)$", assembly, re.M
+        )
+    )
+    return found
 
 
 @dataclass
@@ -167,7 +206,14 @@ class NativeResult:
 
 
 class NativeFunction:
-    """A corpus function assembled to a host executable."""
+    """A corpus function assembled to a host executable.
+
+    ``isa`` selects the backend: ``"x86"`` builds with the host toolchain,
+    ``"arm"`` builds a static binary with the AArch64 cross compiler and
+    executes it under ``qemu-aarch64`` (or directly on aarch64 hosts).
+    ``asm_transform``, when given, rewrites the assembly text before it is
+    assembled — the fuzzer uses this to inject deliberate miscompiles.
+    """
 
     def __init__(
         self,
@@ -176,11 +222,16 @@ class NativeFunction:
         inputs: Sequence[Tuple[Any, ...]],
         opt_level: str,
         workdir: Path,
+        isa: str = "x86",
+        asm_transform: Optional[Callable[[str], str]] = None,
+        run_timeout: float = 10.0,
     ) -> None:
         self.source = source
         self.name = name
         self.inputs = list(inputs)
         self.opt_level = opt_level
+        self.isa = isa
+        self.run_timeout = run_timeout
         program = parse_program(source)
         self._interp = Interpreter(program)  # used only for type resolution
         self._resolve = self._interp._resolve_type
@@ -188,19 +239,26 @@ class NativeFunction:
         assert func is not None, f"no function {name!r}"
         self.param_types = [ct.decay(self._resolve(p.type)) for p in func.params]
         self.return_type = self._resolve(func.return_type)
-        compiled = compile_function(source, name=name, isa="x86", opt_level=opt_level)
-        self.globals = _comm_globals(compiled.assembly)
+        compiled = compile_function(source, name=name, isa=isa, opt_level=opt_level)
+        assembly = compiled.assembly
+        if asm_transform is not None:
+            assembly = asm_transform(assembly)
+        self.globals = _assembly_globals(assembly)
         self._buffers: List[List[Optional[_Buffer]]] = []
-        asm_path = workdir / f"{name}_{opt_level}.s"
-        asm_path.write_text(compiled.assembly)
-        harness_path = workdir / f"{name}_{opt_level}_main.c"
+        asm_path = workdir / f"{name}_{isa}_{opt_level}.s"
+        asm_path.write_text(assembly)
+        harness_path = workdir / f"{name}_{isa}_{opt_level}_main.c"
         harness_path.write_text(self._generate_harness())
-        self.binary = workdir / f"{name}_{opt_level}"
-        subprocess.run(
-            ["gcc", "-no-pie", "-o", str(self.binary), str(harness_path), str(asm_path)],
-            check=True,
-            capture_output=True,
-        )
+        self.binary = workdir / f"{name}_{isa}_{opt_level}"
+        if isa == "arm" and platform.machine() != "aarch64":
+            cc = _arm_cross_compiler()
+            assert cc is not None, "no AArch64 cross compiler available"
+            build = [cc, "-static", "-o", str(self.binary), str(harness_path), str(asm_path)]
+            self._exec_prefix = _arm_emulator() or []
+        else:
+            build = ["gcc", "-no-pie", "-o", str(self.binary), str(harness_path), str(asm_path)]
+            self._exec_prefix = []
+        subprocess.run(build, check=True, capture_output=True, timeout=120)
 
     # -- C generation --------------------------------------------------------
 
@@ -273,8 +331,15 @@ class NativeFunction:
 
     def run(self, index: int) -> NativeResult:
         """Execute input set ``index`` natively and decode the output."""
+        # The timeout guards the differential oracle/reducer against
+        # candidate programs that loop forever (the interpreter leg traps on
+        # its step budget; the native binary has no such budget).
         proc = subprocess.run(
-            [str(self.binary), str(index)], check=True, capture_output=True, text=True
+            self._exec_prefix + [str(self.binary), str(index)],
+            check=True,
+            capture_output=True,
+            text=True,
+            timeout=self.run_timeout,
         )
         return_value: Any = None
         arg_values: List[Any] = list(self.inputs[index])
@@ -318,16 +383,12 @@ class NativeFunction:
         )
 
 
-def values_equal(left: Any, right: Any) -> bool:
-    """Structural equality with float tolerance (shared with the tests)."""
-    if isinstance(left, float) or isinstance(right, float):
-        return math.isclose(float(left), float(right), rel_tol=1e-9, abs_tol=1e-9)
-    if isinstance(left, list) and isinstance(right, list):
-        return len(left) == len(right) and all(
-            values_equal(a, b) for a, b in zip(left, right)
-        )
-    if isinstance(left, dict) and isinstance(right, dict):
-        return left.keys() == right.keys() and all(
-            values_equal(left[k], right[k]) for k in left
-        )
-    return left == right
+# Single implementation shared with the differential oracle (re-exported
+# here for the native test modules).
+__all__ = [
+    "NativeFunction",
+    "NativeResult",
+    "have_arm_toolchain",
+    "have_native_toolchain",
+    "values_equal",
+]

@@ -6,14 +6,13 @@ function through the interpreter on the same inputs has to produce the same
 observable state (return value, out-parameter contents, globals).
 """
 
-import math
-
 import pytest
 
 from repro.compiler.opt import optimize_function_ast
 from repro.lang import ast_nodes as ast
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import parse_program
+from repro.testing.oracle import values_equal as _values_equal
 
 from corpus import CORPUS
 
@@ -26,20 +25,6 @@ def _optimized_program(program: ast.Program, name: str) -> ast.Program:
         else:
             decls.append(decl)
     return ast.Program(decls)
-
-
-def _values_equal(left, right) -> bool:
-    if isinstance(left, float) or isinstance(right, float):
-        return math.isclose(float(left), float(right), rel_tol=1e-9, abs_tol=1e-9)
-    if isinstance(left, list) and isinstance(right, list):
-        return len(left) == len(right) and all(
-            _values_equal(a, b) for a, b in zip(left, right)
-        )
-    if isinstance(left, dict) and isinstance(right, dict):
-        return left.keys() == right.keys() and all(
-            _values_equal(left[k], right[k]) for k in left
-        )
-    return left == right
 
 
 @pytest.mark.parametrize(

@@ -86,6 +86,44 @@ int prod_div(int a, int b, int c) {
     assert wrapped != (a * b) // c, "test inputs no longer overflow 32 bits"
 
 
+def test_shared_initialised_global_links_across_functions(tmp_path):
+    """Two separately compiled functions of one program share an initialised
+    global: their .data definitions are weak, so linking both objects into
+    one binary must work (as the old mergeable .comm symbols always did)."""
+    import subprocess as sp
+
+    from repro.compiler import compile_program
+
+    source = """
+int base = 5;
+
+int f(int x) {
+    return base + x;
+}
+
+int g(int x) {
+    return base * x;
+}
+"""
+    grid = compile_program(source, isas=("x86",), opt_levels=("O0",))
+    (tmp_path / "f.s").write_text(grid["f"][("x86", "O0")].assembly)
+    (tmp_path / "g.s").write_text(grid["g"][("x86", "O0")].assembly)
+    (tmp_path / "main.c").write_text(
+        '#include <stdio.h>\n'
+        "extern long f(long);\n"
+        "extern long g(long);\n"
+        'int main(void){ printf("%ld %ld\\n", (long)(int)f(2), (long)(int)g(3)); return 0; }\n'
+    )
+    binary = tmp_path / "run"
+    sp.run(
+        ["gcc", "-no-pie", "-o", str(binary), str(tmp_path / "main.c"),
+         str(tmp_path / "f.s"), str(tmp_path / "g.s")],
+        check=True, capture_output=True,
+    )
+    out = sp.run([str(binary)], check=True, capture_output=True, text=True).stdout
+    assert out.strip() == "7 15"
+
+
 def test_golden_x86_assembles(tmp_path):
     """Every x86 golden file must be accepted by the system GNU assembler."""
     golden = sorted(_GOLDEN_DIR.glob("*_x86_*.s"))
