@@ -196,23 +196,49 @@ def _collect_global_inits(
     return inits
 
 
-def compile_function(
-    source: Union[str, ast.Program],
-    name: Optional[str] = None,
-    isa: str = "x86",
-    opt_level: Union[str, int] = "O0",
-) -> CompiledFunction:
-    """Compile one function of a Mini-C program to assembly.
+@dataclass
+class LoweredFunction:
+    """The ISA-independent front half of one compilation.
 
-    ``source`` is Mini-C source text (or an already-parsed
-    :class:`~repro.lang.ast_nodes.Program`); ``name`` selects the function
-    (optional when the program defines exactly one).  ``isa`` is ``"x86"``
-    or ``"arm"``; ``opt_level`` is ``"O0"`` or ``"O3"``.
+    Produced by :func:`lower_for_backend`: the checked program has been
+    AST-optimised (at -O3), lowered to IR and IR-optimised (at -O3), and the
+    global layout data is collected.  Emitting assembly from it
+    (:func:`emit_from_lowered`) only runs register allocation and the
+    backend, so callers that need several ISAs — or that also execute the
+    IR directly, like the differential oracle's ``ir-O3`` leg — share one
+    front-half run instead of repeating parse/typecheck/lower per target.
     """
-    isa = _normalize_isa(isa)
+
+    name: str
+    opt_level: str
+    ir_func: ir.IRFunction
+    strings: Dict[str, str]
+    global_sizes: Dict[str, int]
+    global_inits: Dict[str, ir.GlobalInit]
+    source: str
+
+
+def lower_for_backend(
+    program: ast.Program,
+    name: Optional[str] = None,
+    opt_level: Union[str, int] = "O0",
+    checker: Optional[TypeChecker] = None,
+) -> LoweredFunction:
+    """Run the front half of :func:`compile_function` on a parsed program.
+
+    ``checker`` optionally supplies an already-run :class:`TypeChecker` so
+    repeated compilations of one program type-check once.
+    """
     opt_level = _normalize_opt(opt_level)
-    program = _parse(source)
-    _typecheck(program)
+    if checker is None:
+        checker = TypeChecker(program)
+        result = checker.check()
+    else:
+        result = getattr(checker, "last_result", None)
+        if result is None:
+            result = checker.check()
+    if result.errors:
+        raise CompileError("type error: " + "; ".join(result.errors[:5]))
     func = _select_function(program, name)
     c_source = print_function(func)
 
@@ -220,20 +246,15 @@ def compile_function(
     if opt_level == "O3":
         compiled_ast = optimize_function_ast(func)
 
-    lowerer = Lowerer(program, compiled_ast, promote_scalars=(opt_level == "O3"))
+    lowerer = Lowerer(
+        program, compiled_ast, promote_scalars=(opt_level == "O3"), checker=checker
+    )
     try:
         ir_func, string_literals = lowerer.lower()
     except LoweringError as exc:
         raise CompileError(f"lowering error: {exc}") from exc
     if opt_level == "O3":
         optimize_ir(ir_func)
-
-    backend = _backend(isa)
-    allocation = linear_scan(
-        ir_func,
-        backend.int_registers(opt_level),
-        backend.float_registers(opt_level),
-    )
 
     global_sizes: Dict[str, int] = {}
     for global_name, global_type in lowerer.globals.items():
@@ -242,21 +263,94 @@ def compile_function(
         except LoweringError:
             continue
     global_inits = _collect_global_inits(program, lowerer)
+    return LoweredFunction(
+        name=ir_func.name,
+        opt_level=opt_level,
+        ir_func=ir_func,
+        strings=string_literals,
+        global_sizes=global_sizes,
+        global_inits=global_inits,
+        source=c_source,
+    )
 
+
+def _clone_for_backend(func: ir.IRFunction) -> ir.IRFunction:
+    """A frame-private view of a lowered function.
+
+    Register allocation adds spill slots and the backends assign frame
+    offsets, but neither ever mutates an instruction (copy propagation only
+    runs inside ``optimize_ir``, before the IR is shared).  Sharing the
+    instruction list and copying just the slot table makes re-emission two
+    orders of magnitude cheaper than a deep copy.
+    """
+    return ir.IRFunction(
+        name=func.name,
+        params=list(func.params),
+        param_names=list(func.param_names),
+        instrs=func.instrs,
+        slots={
+            name: ir.StackSlot(slot.name, slot.size, slot.offset)
+            for name, slot in func.slots.items()
+        },
+        returns_float=func.returns_float,
+        next_vreg=func.next_vreg,
+        next_label=func.next_label,
+    )
+
+
+def emit_from_lowered(
+    lowered: LoweredFunction, isa: str, copy_ir: bool = True
+) -> CompiledFunction:
+    """Emit assembly for one ISA from a :class:`LoweredFunction`.
+
+    Register allocation and the backends mutate the frame layout of the IR
+    they are handed (spill slots are added, offsets assigned), so by default
+    they work on a slot-private clone; one-shot callers pass
+    ``copy_ir=False`` to skip even that.
+    """
+    isa = _normalize_isa(isa)
+    backend = _backend(isa)
+    ir_func = _clone_for_backend(lowered.ir_func) if copy_ir else lowered.ir_func
+    allocation = linear_scan(
+        ir_func,
+        backend.int_registers(lowered.opt_level),
+        backend.float_registers(lowered.opt_level),
+    )
     try:
         assembly = backend.emit_function(
-            ir_func, allocation, string_literals, global_sizes, global_inits
+            ir_func, allocation, lowered.strings, lowered.global_sizes, lowered.global_inits
         )
     except NotImplementedError as exc:
         raise CompileError(f"{isa} backend error: {exc}") from exc
     return CompiledFunction(
         name=ir_func.name,
         isa=isa,
-        opt_level=opt_level,
+        opt_level=lowered.opt_level,
         assembly=assembly,
-        source=c_source,
+        source=lowered.source,
         ir_text=str(ir_func),
     )
+
+
+def compile_function(
+    source: Union[str, ast.Program],
+    name: Optional[str] = None,
+    isa: str = "x86",
+    opt_level: Union[str, int] = "O0",
+    checker: Optional[TypeChecker] = None,
+) -> CompiledFunction:
+    """Compile one function of a Mini-C program to assembly.
+
+    ``source`` is Mini-C source text (or an already-parsed
+    :class:`~repro.lang.ast_nodes.Program`); ``name`` selects the function
+    (optional when the program defines exactly one).  ``isa`` is ``"x86"``
+    or ``"arm"``; ``opt_level`` is ``"O0"`` or ``"O3"``.  ``checker``
+    optionally shares an already-run type checker for the program.
+    """
+    isa = _normalize_isa(isa)
+    program = _parse(source)
+    lowered = lower_for_backend(program, name=name, opt_level=opt_level, checker=checker)
+    return emit_from_lowered(lowered, isa, copy_ir=False)
 
 
 def compile_program(
@@ -271,16 +365,31 @@ def compile_program(
     """
     program = _parse(source)
     _typecheck(program)
+    # One checker serves the whole grid: the front half below only re-runs
+    # AST opt + lowering per (function, opt level), never semantic analysis.
+    checker = TypeChecker(program)
+    checker.check()
     results: Dict[str, Dict[Tuple[str, str], CompiledFunction]] = {}
     for func in program.functions():
         grid: Dict[Tuple[str, str], CompiledFunction] = {}
-        for isa in isas:
-            for opt_level in opt_levels:
-                grid[(_normalize_isa(isa), _normalize_opt(opt_level))] = compile_function(
-                    program, name=func.name, isa=isa, opt_level=opt_level
+        for opt_level in opt_levels:
+            lowered = lower_for_backend(
+                program, name=func.name, opt_level=opt_level, checker=checker
+            )
+            for isa in isas:
+                grid[(_normalize_isa(isa), _normalize_opt(opt_level))] = (
+                    emit_from_lowered(lowered, isa)
                 )
         results[func.name] = grid
     return results
 
 
-__all__: List[str] = ["CompileError", "CompiledFunction", "compile_function", "compile_program"]
+__all__: List[str] = [
+    "CompileError",
+    "CompiledFunction",
+    "LoweredFunction",
+    "compile_function",
+    "compile_program",
+    "emit_from_lowered",
+    "lower_for_backend",
+]

@@ -63,12 +63,22 @@ class Lowerer:
         program: ast.Program,
         func: ast.FunctionDef,
         promote_scalars: bool = False,
+        checker: Optional[TypeChecker] = None,
     ) -> None:
         self.program = program
         self.func = func
         self.promote_scalars = promote_scalars
-        checker = TypeChecker(program)
-        self.check_result = checker.check()
+        if checker is None:
+            # A caller lowering several functions (or several opt levels) of
+            # one program can pass an already-run checker to type-check once.
+            checker = TypeChecker(program)
+            self.check_result = checker.check()
+        else:
+            self.check_result = getattr(checker, "last_result", None)
+            if self.check_result is None:
+                # Constructed-but-never-run checker: run it, mirroring what
+                # the no-checker path does.
+                self.check_result = checker.check()
         self.typedefs = checker.typedefs
         self.structs = checker.structs
         self.functions = checker.functions
@@ -147,7 +157,7 @@ class Lowerer:
             if self._scalar_promotable(ptype, param.name):
                 self.vars[param.name] = _RegisterLocation(reg, ptype)
             else:
-                slot = self._new_slot(param.name, max(8, ptype.sizeof()))
+                slot = self._new_slot(param.name, self._slot_size(ptype))
                 addr = self.ir.new_vreg()
                 self.ir.emit(ir.IRFrameAddr(addr, slot.name))
                 self.ir.emit(
@@ -172,6 +182,21 @@ class Lowerer:
             self._slot_counter += 1
             slot_name = f"{name}.{self._slot_counter}"
         return self.ir.add_slot(slot_name, size)
+
+    def _slot_size(self, t: ct.CType) -> int:
+        """Frame bytes for a named variable of type ``t``.
+
+        Scalars take exactly their declared width — an ``int`` local gets a
+        4-byte slot that the frame layout packs at natural alignment, the
+        same way PR 2 shrank spill slots.  Every scalar access goes through
+        :meth:`_store_size`, which uses the same width, so no load or store
+        can overrun the slot.  Aggregates keep their full size: the type
+        must NOT be decayed here, or a local array would get a pointer-sized
+        slot and its elements would overrun into neighbouring slots.
+        (Array-typed *parameters* never reach this path un-decayed — the
+        caller decays them before asking for a slot.)
+        """
+        return max(1, self.resolve(t).sizeof())
 
     def _store_size(self, t: ct.CType) -> int:
         resolved = self.resolve(t)
@@ -230,7 +255,7 @@ class Lowerer:
                 self.ir.emit(ir.IRConst(reg, 0.0 if self._is_float(t) else 0))
             return
 
-        slot = self._new_slot(decl.name, max(8, t.sizeof()))
+        slot = self._new_slot(decl.name, self._slot_size(t))
         addr = self.ir.new_vreg()
         self.ir.emit(ir.IRFrameAddr(addr, slot.name))
         location = _MemoryLocation(addr, 0, t, slot.name)

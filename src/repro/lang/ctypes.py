@@ -301,10 +301,18 @@ def literal_int_type(value: int) -> IntType:
 #: Integer kind with exactly N bits, used to rebuild a type from a width.
 _BITS_TO_KIND = {8: "char", 16: "short", 32: "int", 64: "long"}
 
+#: All eight (bits, unsigned) combinations, interned once — this lookup is
+#: on the per-instruction hot path of the IR executor.
+_INT_TYPE_CACHE: Dict[Tuple[int, bool], IntType] = {
+    (bits, unsigned): IntType(kind, unsigned=unsigned)
+    for bits, kind in _BITS_TO_KIND.items()
+    for unsigned in (False, True)
+}
+
 
 def int_type_for_bits(bits: int, unsigned: bool = False) -> IntType:
     """The :class:`IntType` of width ``bits`` (8/16/32/64)."""
-    return IntType(_BITS_TO_KIND[bits], unsigned=unsigned)
+    return _INT_TYPE_CACHE[(bits, unsigned)]
 
 
 def int_binop(op: str, left: int, right: int, bits: int = 64, unsigned: bool = False) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct as _struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lang import ast_nodes as ast
 from repro.lang import ctypes as ct
@@ -175,15 +175,28 @@ class Interpreter:
         program: ast.Program,
         max_steps: int = 200_000,
         memory_size: int = 1 << 20,
+        checker: Optional[TypeChecker] = None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
         self.memory = Memory(memory_size)
         self.steps = 0
-        checker = TypeChecker(program)
-        checker.check()
+        if checker is None:
+            # ``checker`` lets callers that evaluate the same program on many
+            # inputs (the differential oracle) type-check once and share the
+            # result; a shared checker must already have had check() run.
+            checker = TypeChecker(program)
+            checker.check()
+        self.checker = checker
         self.typedefs = checker.typedefs
         self.structs = checker.structs
+        # Resolution results are immutable, so the memo can live on the
+        # checker and be shared by every interpreter built from it.
+        cache = getattr(checker, "resolve_cache", None)
+        if cache is None:
+            cache = {}
+            checker.resolve_cache = cache  # type: ignore[attr-defined]
+        self._resolve_cache: Dict[ct.CType, ct.CType] = cache
         self.functions: Dict[str, ast.FunctionDef] = {
             f.name: f for f in program.functions()
         }
@@ -194,6 +207,16 @@ class Interpreter:
     # -- setup --------------------------------------------------------------
 
     def _resolve_type(self, t: ct.CType) -> ct.CType:
+        try:
+            cached = self._resolve_cache.get(t)
+        except TypeError:  # StructType is unhashable
+            return self._resolve_type_uncached(t)
+        if cached is None:
+            cached = self._resolve_type_uncached(t)
+            self._resolve_cache[t] = cached
+        return cached
+
+    def _resolve_type_uncached(self, t: ct.CType) -> ct.CType:
         if isinstance(t, ct.NamedType) and t.name in self.typedefs:
             return self._resolve_type(self.typedefs[t.name])
         if isinstance(t, ct.StructType) and not t.fields and t.tag in self.structs:
@@ -414,77 +437,92 @@ class Interpreter:
 
     def _exec_stmt(self, stmt: ast.Stmt, scope: Dict[str, LValue]) -> None:
         self._tick()
-        if isinstance(stmt, ast.Block):
-            inner = dict(scope)
-            for s in stmt.stmts:
-                self._exec_stmt(s, inner)
-            # Propagate new bindings of pre-existing names back (block scoping
-            # is approximated; good enough for the generated corpus).
-            for name in scope:
-                if name in inner:
-                    scope[name] = inner[name]
-        elif isinstance(stmt, ast.Declaration):
-            t = self._resolve_type(stmt.type)
-            addr = self.memory.allocate(max(t.sizeof(), 8))
-            lvalue = LValue(addr, t)
-            scope[stmt.name] = lvalue
-            if stmt.init is not None:
-                self._store_initializer(lvalue, stmt.init, scope)
-        elif isinstance(stmt, ast.ExprStmt):
-            self._eval(stmt.expr, scope)
-        elif isinstance(stmt, ast.If):
-            if self._truthy(self._eval(stmt.cond, scope)):
-                self._exec_stmt(stmt.then, scope)
-            elif stmt.otherwise is not None:
-                self._exec_stmt(stmt.otherwise, scope)
-        elif isinstance(stmt, ast.While):
-            while self._truthy(self._eval(stmt.cond, scope)):
-                self._tick()
-                try:
-                    self._exec_stmt(stmt.body, scope)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    continue
-        elif isinstance(stmt, ast.DoWhile):
-            while True:
-                self._tick()
-                try:
-                    self._exec_stmt(stmt.body, scope)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    pass
-                if not self._truthy(self._eval(stmt.cond, scope)):
-                    break
-        elif isinstance(stmt, ast.For):
-            inner = dict(scope)
-            if isinstance(stmt.init, ast.Stmt):
-                self._exec_stmt(stmt.init, inner)
-            while stmt.cond is None or self._truthy(self._eval(stmt.cond, inner)):
-                self._tick()
-                try:
-                    self._exec_stmt(stmt.body, inner)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    pass
-                if stmt.step is not None:
-                    self._eval(stmt.step, inner)
-            for name in scope:
-                if name in inner:
-                    scope[name] = inner[name]
-        elif isinstance(stmt, ast.Return):
-            value = self._eval(stmt.value, scope) if stmt.value is not None else None
-            raise _ReturnSignal(value)
-        elif isinstance(stmt, ast.Break):
-            raise _BreakSignal()
-        elif isinstance(stmt, ast.Continue):
-            raise _ContinueSignal()
-        elif isinstance(stmt, ast.EmptyStmt):
-            pass
-        else:
+        # Statement dispatch is a type-keyed table (built after the class
+        # body) instead of an isinstance chain: one dict lookup per step.
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
             raise CInterpreterError(f"cannot execute statement {type(stmt).__name__}")
+        handler(self, stmt, scope)
+
+    def _exec_block(self, stmt: ast.Block, scope: Dict[str, LValue]) -> None:
+        inner = dict(scope)
+        for s in stmt.stmts:
+            self._exec_stmt(s, inner)
+        # Propagate new bindings of pre-existing names back (block scoping
+        # is approximated; good enough for the generated corpus).
+        for name in scope:
+            if name in inner:
+                scope[name] = inner[name]
+
+    def _exec_declaration(self, stmt: ast.Declaration, scope: Dict[str, LValue]) -> None:
+        t = self._resolve_type(stmt.type)
+        addr = self.memory.allocate(max(t.sizeof(), 8))
+        lvalue = LValue(addr, t)
+        scope[stmt.name] = lvalue
+        if stmt.init is not None:
+            self._store_initializer(lvalue, stmt.init, scope)
+
+    def _exec_expr_stmt(self, stmt: ast.ExprStmt, scope: Dict[str, LValue]) -> None:
+        self._eval(stmt.expr, scope)
+
+    def _exec_if(self, stmt: ast.If, scope: Dict[str, LValue]) -> None:
+        if self._truthy(self._eval(stmt.cond, scope)):
+            self._exec_stmt(stmt.then, scope)
+        elif stmt.otherwise is not None:
+            self._exec_stmt(stmt.otherwise, scope)
+
+    def _exec_while(self, stmt: ast.While, scope: Dict[str, LValue]) -> None:
+        while self._truthy(self._eval(stmt.cond, scope)):
+            self._tick()
+            try:
+                self._exec_stmt(stmt.body, scope)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _exec_do_while(self, stmt: ast.DoWhile, scope: Dict[str, LValue]) -> None:
+        while True:
+            self._tick()
+            try:
+                self._exec_stmt(stmt.body, scope)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if not self._truthy(self._eval(stmt.cond, scope)):
+                break
+
+    def _exec_for(self, stmt: ast.For, scope: Dict[str, LValue]) -> None:
+        inner = dict(scope)
+        if isinstance(stmt.init, ast.Stmt):
+            self._exec_stmt(stmt.init, inner)
+        while stmt.cond is None or self._truthy(self._eval(stmt.cond, inner)):
+            self._tick()
+            try:
+                self._exec_stmt(stmt.body, inner)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if stmt.step is not None:
+                self._eval(stmt.step, inner)
+        for name in scope:
+            if name in inner:
+                scope[name] = inner[name]
+
+    def _exec_return(self, stmt: ast.Return, scope: Dict[str, LValue]) -> None:
+        value = self._eval(stmt.value, scope) if stmt.value is not None else None
+        raise _ReturnSignal(value)
+
+    def _exec_break(self, stmt: ast.Break, scope: Dict[str, LValue]) -> None:
+        raise _BreakSignal()
+
+    def _exec_continue(self, stmt: ast.Continue, scope: Dict[str, LValue]) -> None:
+        raise _ContinueSignal()
+
+    def _exec_empty(self, stmt: ast.EmptyStmt, scope: Dict[str, LValue]) -> None:
+        pass
 
     def _store_initializer(self, lvalue: LValue, init: ast.Node, scope: Dict[str, LValue]) -> None:
         t = self._resolve_type(lvalue.type)
@@ -521,74 +559,76 @@ class Interpreter:
 
     def _eval(self, expr: ast.Expr, scope: Dict[str, LValue]) -> Union[int, float]:
         self._tick()
-        if isinstance(expr, ast.IntLiteral):
-            return expr.value
-        if isinstance(expr, ast.FloatLiteral):
-            return expr.value
-        if isinstance(expr, ast.CharLiteral):
-            return expr.value
-        if isinstance(expr, ast.StringLiteral):
-            return self._intern_string(expr.value)
-        if isinstance(expr, ast.Identifier):
-            lvalue = self._lookup(expr.name, scope)
-            if lvalue is None:
-                if expr.name in ("NULL", "false"):
-                    return 0
-                if expr.name == "true":
-                    return 1
-                if expr.name in self.functions or expr.name in BUILTIN_FUNCTIONS:
-                    return 0
-                raise CInterpreterError(f"use of undeclared identifier {expr.name!r}")
-            if isinstance(self._resolve_type(lvalue.type), ct.ArrayType):
-                return lvalue.addr
-            return read_typed(self.memory, lvalue.addr, self._resolve_type(lvalue.type))
-        if isinstance(expr, ast.BinaryOp):
-            return self._eval_binary(expr, scope)
-        if isinstance(expr, ast.UnaryOp):
-            return self._eval_unary(expr, scope)
-        if isinstance(expr, ast.PostfixOp):
-            lvalue = self._eval_lvalue(expr.operand, scope)
-            t = self._resolve_type(lvalue.type)
-            old = read_typed(self.memory, lvalue.addr, t)
-            delta = self._pointer_step(t)
-            new = old + delta if expr.op == "++" else old - delta
-            write_typed(self.memory, lvalue.addr, new, t)
-            return old
-        if isinstance(expr, ast.Assignment):
-            return self._eval_assignment(expr, scope)
-        if isinstance(expr, ast.Conditional):
-            if self._truthy(self._eval(expr.cond, scope)):
-                value = self._eval(expr.then, scope)
-            else:
-                value = self._eval(expr.otherwise, scope)
-            # C converts both branches to the conditional's common type
-            # (the ctype the checker computed); (c ? -1 : 1u) really is
-            # 4294967295, and an int branch of a double ternary is a double.
-            result_type = (
-                self._resolve_type(expr.ctype) if expr.ctype is not None else None
-            )
-            if isinstance(result_type, ct.IntType) and not isinstance(value, float):
-                return result_type.wrap(int(value))
-            if isinstance(result_type, ct.FloatType):
-                return float(value)
-            return value
-        if isinstance(expr, ast.Call):
-            return self._eval_call(expr, scope)
-        if isinstance(expr, (ast.Index, ast.Member)):
-            lvalue = self._eval_lvalue(expr, scope)
-            t = self._resolve_type(lvalue.type)
-            if isinstance(t, ct.ArrayType):
-                return lvalue.addr
-            return read_typed(self.memory, lvalue.addr, t)
-        if isinstance(expr, ast.Cast):
-            value = self._eval(expr.operand, scope)
-            return self._cast_value(value, self._resolve_type(expr.target_type))
-        if isinstance(expr, ast.SizeOf):
-            if expr.target_type is not None:
-                return self._resolve_type(expr.target_type).sizeof()
-            t = expr.operand.ctype if expr.operand is not None and expr.operand.ctype else ct.INT
-            return self._resolve_type(t).sizeof()
-        raise CInterpreterError(f"cannot evaluate {type(expr).__name__}")
+        # Expression dispatch mirrors _exec_stmt: one type-keyed lookup per
+        # node instead of walking an isinstance chain.
+        handler = _EVAL_DISPATCH.get(expr.__class__)
+        if handler is None:
+            raise CInterpreterError(f"cannot evaluate {type(expr).__name__}")
+        return handler(self, expr, scope)
+
+    def _eval_literal(self, expr, scope: Dict[str, LValue]) -> Union[int, float]:
+        return expr.value
+
+    def _eval_string(self, expr: ast.StringLiteral, scope: Dict[str, LValue]) -> int:
+        return self._intern_string(expr.value)
+
+    def _eval_identifier(self, expr: ast.Identifier, scope: Dict[str, LValue]) -> Union[int, float]:
+        lvalue = self._lookup(expr.name, scope)
+        if lvalue is None:
+            if expr.name in ("NULL", "false"):
+                return 0
+            if expr.name == "true":
+                return 1
+            if expr.name in self.functions or expr.name in BUILTIN_FUNCTIONS:
+                return 0
+            raise CInterpreterError(f"use of undeclared identifier {expr.name!r}")
+        t = self._resolve_type(lvalue.type)
+        if isinstance(t, ct.ArrayType):
+            return lvalue.addr
+        return read_typed(self.memory, lvalue.addr, t)
+
+    def _eval_postfix(self, expr: ast.PostfixOp, scope: Dict[str, LValue]) -> Union[int, float]:
+        lvalue = self._eval_lvalue(expr.operand, scope)
+        t = self._resolve_type(lvalue.type)
+        old = read_typed(self.memory, lvalue.addr, t)
+        delta = self._pointer_step(t)
+        new = old + delta if expr.op == "++" else old - delta
+        write_typed(self.memory, lvalue.addr, new, t)
+        return old
+
+    def _eval_conditional(self, expr: ast.Conditional, scope: Dict[str, LValue]) -> Union[int, float]:
+        if self._truthy(self._eval(expr.cond, scope)):
+            value = self._eval(expr.then, scope)
+        else:
+            value = self._eval(expr.otherwise, scope)
+        # C converts both branches to the conditional's common type
+        # (the ctype the checker computed); (c ? -1 : 1u) really is
+        # 4294967295, and an int branch of a double ternary is a double.
+        result_type = (
+            self._resolve_type(expr.ctype) if expr.ctype is not None else None
+        )
+        if isinstance(result_type, ct.IntType) and not isinstance(value, float):
+            return result_type.wrap(int(value))
+        if isinstance(result_type, ct.FloatType):
+            return float(value)
+        return value
+
+    def _eval_index_or_member(self, expr, scope: Dict[str, LValue]) -> Union[int, float]:
+        lvalue = self._eval_lvalue(expr, scope)
+        t = self._resolve_type(lvalue.type)
+        if isinstance(t, ct.ArrayType):
+            return lvalue.addr
+        return read_typed(self.memory, lvalue.addr, t)
+
+    def _eval_cast(self, expr: ast.Cast, scope: Dict[str, LValue]) -> Union[int, float]:
+        value = self._eval(expr.operand, scope)
+        return self._cast_value(value, self._resolve_type(expr.target_type))
+
+    def _eval_sizeof(self, expr: ast.SizeOf, scope: Dict[str, LValue]) -> int:
+        if expr.target_type is not None:
+            return self._resolve_type(expr.target_type).sizeof()
+        t = expr.operand.ctype if expr.operand is not None and expr.operand.ctype else ct.INT
+        return self._resolve_type(t).sizeof()
 
     def _lookup(self, name: str, scope: Dict[str, LValue]) -> Optional[LValue]:
         if name in scope:
@@ -653,28 +693,20 @@ class Interpreter:
 
         left = self._eval(expr.left, scope)
         right = self._eval(expr.right, scope)
-        left_type = ct.decay(self._expr_static_type(expr.left, scope))
-        right_type = ct.decay(self._expr_static_type(expr.right, scope))
 
-        # Pointer arithmetic scaling.
-        if op in ("+", "-"):
-            if isinstance(left_type, ct.PointerType) and not isinstance(
-                right_type, ct.PointerType
-            ):
-                step = self._pointer_step(left_type)
-                return int(left) + int(right) * step if op == "+" else int(left) - int(right) * step
-            if (
-                isinstance(right_type, ct.PointerType)
-                and not isinstance(left_type, ct.PointerType)
-                and op == "+"
-            ):
-                step = self._pointer_step(right_type)
-                return int(right) + int(left) * step
-            if isinstance(left_type, ct.PointerType) and isinstance(right_type, ct.PointerType):
-                step = self._pointer_step(left_type)
-                return (int(left) - int(right)) // step
-
-        return apply_binary(op, left, right, left_type, right_type)
+        # The operator's conversion plan depends only on the operands'
+        # static types, so it is computed once and cached on the node.  The
+        # cache is only safe when the checker annotated both operands (the
+        # scope-based fallback of _expr_static_type can, in principle, see
+        # different bindings on different evaluations).
+        plan = expr.__dict__.get("_interp_plan")
+        if plan is None:
+            left_type = ct.decay(self._expr_static_type(expr.left, scope))
+            right_type = ct.decay(self._expr_static_type(expr.right, scope))
+            plan = binary_op_plan(op, left_type, right_type)
+            if expr.left.ctype is not None and expr.right.ctype is not None:
+                expr._interp_plan = plan
+        return plan(left, right)
 
     def _eval_unary(self, expr: ast.UnaryOp, scope: Dict[str, LValue]) -> Union[int, float]:
         if expr.op == "&":
@@ -708,13 +740,20 @@ class Interpreter:
             result = -int(value) if expr.op == "-" else ~int(value)
             # C evaluates unary - and ~ in the promoted operand type; wrap
             # there so -(unsigned int)1 is 4294967295, exactly as the
-            # compiled code computes it.
-            operand_type = ct.decay(self._expr_static_type(expr.operand, scope))
-            if isinstance(operand_type, ct.IntType):
-                promoted = ct.integer_promote(operand_type)
-                if isinstance(promoted, ct.IntType):
-                    return promoted.wrap(result)
-            return result
+            # compiled code computes it.  The promoted wrap is static per
+            # node, so cache it (False means "no wrapping applies").
+            wrap = expr.__dict__.get("_interp_wrap")
+            if wrap is None:
+                wrap = False
+                operand_type = ct.decay(self._expr_static_type(expr.operand, scope))
+                if isinstance(operand_type, ct.IntType):
+                    promoted = ct.integer_promote(operand_type)
+                    if isinstance(promoted, ct.IntType):
+                        wrap = promoted.wrap
+                if expr.operand.ctype is None:
+                    return wrap(result) if wrap else result
+                expr._interp_wrap = wrap
+            return wrap(result) if wrap else result
         raise CInterpreterError(f"unsupported unary operator {expr.op!r}")
 
     def _deref_type(self, pointer_expr: ast.Expr, scope: Dict[str, LValue]) -> ct.CType:
@@ -730,12 +769,20 @@ class Interpreter:
         if expr.op != "=":
             op = expr.op[:-1]
             current = read_typed(self.memory, lvalue.addr, t)
-            right_type = ct.decay(self._expr_static_type(expr.value, scope))
             if isinstance(t, ct.PointerType) and op in ("+", "-"):
                 step = self._pointer_step(t)
                 value = current + value * step if op == "+" else current - value * step
             else:
-                value = apply_binary(op, current, value, t, right_type)
+                # The compound operator's plan is static per node (the
+                # target's type and the RHS's annotated type don't change
+                # between evaluations); cache it like _eval_binary does.
+                plan = expr.__dict__.get("_interp_plan")
+                if plan is None:
+                    right_type = ct.decay(self._expr_static_type(expr.value, scope))
+                    plan = binary_op_plan(op, t, right_type)
+                    if expr.value.ctype is not None:
+                        expr._interp_plan = plan
+                value = plan(current, value)
         if isinstance(t, ct.IntType):
             value = t.wrap(int(value))
         elif isinstance(t, ct.FloatType):
@@ -904,89 +951,19 @@ class Interpreter:
 # ---------------------------------------------------------------------------
 
 
-def apply_binary(
-    op: str,
-    left: Union[int, float],
-    right: Union[int, float],
-    left_type: ct.CType,
-    right_type: ct.CType,
-) -> Union[int, float]:
-    """Apply a C binary operator with (simplified) C semantics.
+_CMP_FUNCS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
 
-    Integer division truncates toward zero, comparison operators return 0/1,
-    and integer results wrap at the width of the operation's common type
-    (shifts use the promoted left operand's type and mask the shift count by
-    that width, matching what the hardware — and the compiler's constant
-    folder in :mod:`repro.compiler.opt` — does).
-    """
-    is_float = (
-        isinstance(left_type, ct.FloatType)
-        or isinstance(right_type, ct.FloatType)
-        or isinstance(left, float)
-        or isinstance(right, float)
-    )
-    if op in ("==", "!=", "<", ">", "<=", ">="):
-        if (
-            not is_float
-            and isinstance(left_type, ct.IntType)
-            and isinstance(right_type, ct.IntType)
-        ):
-            # C compares in the common type: converting both operands there
-            # is what makes mixed signed/unsigned comparisons (-1 < 1u is
-            # false!) match the compiled code.
-            common = ct.usual_arithmetic_conversion(
-                ct.integer_promote(left_type), ct.integer_promote(right_type)
-            )
-            if isinstance(common, ct.IntType):
-                left = common.wrap(int(left))
-                right = common.wrap(int(right))
-        table = {
-            "==": left == right,
-            "!=": left != right,
-            "<": left < right,
-            "<=": left <= right,
-            ">": left > right,
-            ">=": left >= right,
-        }
-        return 1 if table[op] else 0
-    if is_float and op in ("+", "-", "*", "/"):
-        lf, rf = float(left), float(right)
-        if op == "+":
-            return lf + rf
-        if op == "-":
-            return lf - rf
-        if op == "*":
-            return lf * rf
-        if rf == 0.0:
-            raise CInterpreterError("floating point division by zero")
-        return lf / rf
 
-    # The type the integer operation is performed in.  Pointers and unknown
-    # types keep the historical 64-bit behaviour (addresses are plain
-    # Python ints that must not be wrapped).
-    wrap_type: Optional[ct.IntType] = None
-    if isinstance(left_type, ct.IntType):
-        promoted_left = ct.integer_promote(left_type)
-        if op in ("<<", ">>"):
-            wrap_type = promoted_left if isinstance(promoted_left, ct.IntType) else None
-        elif isinstance(right_type, ct.IntType):
-            common = ct.usual_arithmetic_conversion(
-                promoted_left, ct.integer_promote(right_type)
-            )
-            wrap_type = common if isinstance(common, ct.IntType) else None
-
-    li, ri = int(left), int(right)
-    if wrap_type is not None:
-        try:
-            # Shared with the compiler's constant folder (repro.compiler.opt)
-            # so -O3 folds and interpretation agree by construction.
-            return ct.int_binop(
-                op, li, ri, 8 * wrap_type.sizeof(), wrap_type.unsigned
-            )
-        except ZeroDivisionError as exc:
-            raise CInterpreterError(str(exc)) from exc
-        except ValueError as exc:
-            raise CInterpreterError(f"unsupported binary operator {op!r}") from exc
+def _raw_int_binop(op: str, li: int, ri: int) -> int:
+    """The historical unwrapped 64-bit-ish fallback for pointers and unknown
+    types (addresses are plain Python ints that must not be wrapped)."""
     if op == "+":
         return li + ri
     if op == "-":
@@ -1015,3 +992,163 @@ def apply_binary(
     if op == "^":
         return li ^ ri
     raise CInterpreterError(f"unsupported binary operator {op!r}")
+
+
+def binary_op_plan(
+    op: str, left_type: ct.CType, right_type: ct.CType
+) -> "Callable[[Union[int, float], Union[int, float]], Union[int, float]]":
+    """Compile one C binary operator at fixed operand types into a closure.
+
+    All the type-driven decisions (pointer scaling, usual arithmetic
+    conversions, the width the operation wraps at) depend only on the
+    operands' *static* types, so the interpreter computes this plan once
+    per AST node and replays the closure on every evaluation.  The closures
+    reproduce :func:`apply_binary`'s semantics exactly — float contagion is
+    still checked against the runtime values, because an unannotated tree
+    can hand a float to an operator whose static types look integral.
+    """
+    static_float = isinstance(left_type, ct.FloatType) or isinstance(right_type, ct.FloatType)
+
+    # Pointer arithmetic scaling.
+    if op in ("+", "-"):
+        left_ptr = isinstance(left_type, ct.PointerType)
+        right_ptr = isinstance(right_type, ct.PointerType)
+        if left_ptr and not right_ptr:
+            step = max(1, left_type.pointee.sizeof())
+            if op == "+":
+                return lambda left, right: int(left) + int(right) * step
+            return lambda left, right: int(left) - int(right) * step
+        if right_ptr and not left_ptr and op == "+":
+            step = max(1, right_type.pointee.sizeof())
+            return lambda left, right: int(right) + int(left) * step
+        if left_ptr and right_ptr:
+            step = max(1, left_type.pointee.sizeof())
+            return lambda left, right: (int(left) - int(right)) // step
+
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        compare = _CMP_FUNCS[op]
+        wrap = None
+        if (
+            not static_float
+            and isinstance(left_type, ct.IntType)
+            and isinstance(right_type, ct.IntType)
+        ):
+            # C compares in the common type: converting both operands there
+            # is what makes mixed signed/unsigned comparisons (-1 < 1u is
+            # false!) match the compiled code.
+            common = ct.usual_arithmetic_conversion(
+                ct.integer_promote(left_type), ct.integer_promote(right_type)
+            )
+            if isinstance(common, ct.IntType):
+                wrap = common.wrap
+
+        def run_cmp(left, right):
+            if wrap is not None and not isinstance(left, float) and not isinstance(right, float):
+                left = wrap(int(left))
+                right = wrap(int(right))
+            return 1 if compare(left, right) else 0
+
+        return run_cmp
+
+    # The type the integer operation is performed in.  Pointers and unknown
+    # types keep the unwrapped fallback semantics.
+    wrap_bits = 0
+    wrap_unsigned = False
+    if isinstance(left_type, ct.IntType):
+        promoted_left = ct.integer_promote(left_type)
+        wrap_type: Optional[ct.CType] = None
+        if op in ("<<", ">>"):
+            wrap_type = promoted_left
+        elif isinstance(right_type, ct.IntType):
+            wrap_type = ct.usual_arithmetic_conversion(
+                promoted_left, ct.integer_promote(right_type)
+            )
+        if isinstance(wrap_type, ct.IntType):
+            wrap_bits = 8 * wrap_type.sizeof()
+            wrap_unsigned = wrap_type.unsigned
+
+    int_binop = ct.int_binop
+
+    def run(left, right):
+        if op in ("+", "-", "*", "/") and (
+            static_float or isinstance(left, float) or isinstance(right, float)
+        ):
+            lf, rf = float(left), float(right)
+            if op == "+":
+                return lf + rf
+            if op == "-":
+                return lf - rf
+            if op == "*":
+                return lf * rf
+            if rf == 0.0:
+                raise CInterpreterError("floating point division by zero")
+            return lf / rf
+        if wrap_bits:
+            try:
+                # Shared with the compiler's constant folder
+                # (repro.compiler.opt) so -O3 folds and interpretation agree
+                # by construction.
+                return int_binop(op, int(left), int(right), wrap_bits, wrap_unsigned)
+            except ZeroDivisionError as exc:
+                raise CInterpreterError(str(exc)) from exc
+            except ValueError as exc:
+                raise CInterpreterError(f"unsupported binary operator {op!r}") from exc
+        return _raw_int_binop(op, int(left), int(right))
+
+    return run
+
+
+def apply_binary(
+    op: str,
+    left: Union[int, float],
+    right: Union[int, float],
+    left_type: ct.CType,
+    right_type: ct.CType,
+) -> Union[int, float]:
+    """Apply a C binary operator with (simplified) C semantics.
+
+    Integer division truncates toward zero, comparison operators return 0/1,
+    and integer results wrap at the width of the operation's common type
+    (shifts use the promoted left operand's type and mask the shift count by
+    that width, matching what the hardware — and the compiler's constant
+    folder in :mod:`repro.compiler.opt` — does).  One-shot convenience over
+    :func:`binary_op_plan`; hot paths build the plan once and reuse it.
+    """
+    return binary_op_plan(op, left_type, right_type)(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch tables (type-keyed, built once; one dict lookup per node visit)
+# ---------------------------------------------------------------------------
+
+_STMT_DISPATCH = {
+    ast.Block: Interpreter._exec_block,
+    ast.Declaration: Interpreter._exec_declaration,
+    ast.ExprStmt: Interpreter._exec_expr_stmt,
+    ast.If: Interpreter._exec_if,
+    ast.While: Interpreter._exec_while,
+    ast.DoWhile: Interpreter._exec_do_while,
+    ast.For: Interpreter._exec_for,
+    ast.Return: Interpreter._exec_return,
+    ast.Break: Interpreter._exec_break,
+    ast.Continue: Interpreter._exec_continue,
+    ast.EmptyStmt: Interpreter._exec_empty,
+}
+
+_EVAL_DISPATCH = {
+    ast.IntLiteral: Interpreter._eval_literal,
+    ast.FloatLiteral: Interpreter._eval_literal,
+    ast.CharLiteral: Interpreter._eval_literal,
+    ast.StringLiteral: Interpreter._eval_string,
+    ast.Identifier: Interpreter._eval_identifier,
+    ast.BinaryOp: Interpreter._eval_binary,
+    ast.UnaryOp: Interpreter._eval_unary,
+    ast.PostfixOp: Interpreter._eval_postfix,
+    ast.Assignment: Interpreter._eval_assignment,
+    ast.Conditional: Interpreter._eval_conditional,
+    ast.Call: Interpreter._eval_call,
+    ast.Index: Interpreter._eval_index_or_member,
+    ast.Member: Interpreter._eval_index_or_member,
+    ast.Cast: Interpreter._eval_cast,
+    ast.SizeOf: Interpreter._eval_sizeof,
+}

@@ -134,11 +134,17 @@ class TypeChecker:
     # -- public API ---------------------------------------------------------
 
     def check(self) -> CheckResult:
-        """Run semantic analysis and return the result."""
+        """Run semantic analysis and return the result.
+
+        The result is also remembered as ``self.last_result`` so consumers
+        sharing one checker across pipeline stages (interpreter, lowering,
+        the differential oracle) can re-read it without re-running the pass.
+        """
         self._collect_top_level()
         for decl in self.program.decls:
             if isinstance(decl, ast.FunctionDef) and decl.body is not None:
                 self._check_function(decl)
+        self.last_result = self.result
         if self.strict and not self.result.ok:
             summary = "; ".join(self.result.errors[:5]) or "missing declarations"
             raise TypeCheckError(summary)

@@ -1,0 +1,8 @@
+"""Performance measurement for the reproduction's pipelines.
+
+:mod:`repro.perf.bench` times each pipeline stage (generation, front end,
+interpretation, lowering + IR optimisation, backend emission) and the
+end-to-end differential-fuzz throughput, and writes the results to
+``BENCH_pipeline.json`` — the persisted trajectory future PRs regress
+against (CI fails on a >30% end-to-end throughput drop).
+"""

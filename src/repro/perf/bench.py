@@ -1,0 +1,293 @@
+"""Pipeline benchmark harness: ``python -m repro.perf.bench``.
+
+Times every stage of the corpus pipeline on fixed-seed generated programs —
+
+* **generator**   — seeded program + argument-vector sampling (including the
+  printer/parser/typechecker round-trip the sampler performs);
+* **frontend**    — parse + typecheck of already-rendered sources;
+* **interpreter** — the reference-leg evaluator, one run per input vector;
+* **lowering**    — AST opt + lowering + IR opt at both -O0 and -O3;
+* **backends**    — x86-64 and AArch64 emission from shared lowered IR;
+* **fuzz end-to-end** — the differential campaign itself, measured both on
+  the sequential per-case path (``--no-batch`` semantics) and on the
+  batched path that ships one native build/run per leg per batch
+
+— and writes the numbers to ``BENCH_pipeline.json``.  The committed copy at
+the repo root is the performance trajectory future PRs regress against:
+``--compare BENCH_pipeline.json`` exits non-zero when the measured batched
+end-to-end throughput drops more than ``--tolerance`` (default 30%) below
+the committed number, which is what the CI ``bench-smoke`` job gates on.
+
+Typical invocations::
+
+    python -m repro.perf.bench --quick                      # CI smoke
+    python -m repro.perf.bench --output BENCH_pipeline.json # refresh baseline
+    python -m repro.perf.bench --quick --compare BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.compiler.driver import emit_from_lowered, lower_for_backend
+from repro.testing.frontend import CaseContext
+from repro.testing.fuzz import FuzzConfig, case_seed, run_campaign
+from repro.testing.generator import GeneratedCase, ProgramGenerator
+from repro.testing.native import have_native_toolchain
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import TypeChecker
+
+#: The pre-batching pipeline measured on the same fixed-seed workload
+#: (PR 3 tree, `fuzz --seed 0 --count 500`, four legs, single core).  Kept
+#: in the report so the trajectory records where the optimisation started.
+PRE_BATCHING_BASELINE = {
+    "cases": 500,
+    "seconds": 69.9,
+    "cases_per_second": 7.2,
+    "note": "PR 3 per-case pipeline: one native build+run per case per leg",
+}
+
+
+def _rate(count: int, seconds: float) -> float:
+    return round(count / seconds, 2) if seconds > 0 else float("inf")
+
+
+def _stage(count_label: str, count: int, seconds: float) -> Dict:
+    return {
+        count_label: count,
+        "seconds": round(seconds, 3),
+        f"{count_label}_per_second": _rate(count, seconds),
+    }
+
+
+def bench_generator(seed: int, count: int) -> Dict:
+    started = time.perf_counter()
+    for index in range(count):
+        ProgramGenerator(case_seed(seed, index)).generate()
+    return _stage("cases", count, time.perf_counter() - started)
+
+
+def _make_cases(seed: int, count: int) -> List[GeneratedCase]:
+    return [
+        ProgramGenerator(case_seed(seed, index)).generate() for index in range(count)
+    ]
+
+
+def bench_frontend(cases: List[GeneratedCase]) -> Dict:
+    started = time.perf_counter()
+    for case in cases:
+        program = parse_program(case.source)
+        TypeChecker(program).check()
+    return _stage("cases", len(cases), time.perf_counter() - started)
+
+
+def bench_interpreter(cases: List[GeneratedCase]) -> Dict:
+    contexts = [
+        CaseContext(case.source, case.name, program=case.program, checker=case.checker)
+        for case in cases
+    ]
+    runs = 0
+    started = time.perf_counter()
+    for case, context in zip(cases, contexts):
+        for args in case.inputs:
+            context.interpreter().run_function(case.name, args)
+            runs += 1
+    return _stage("runs", runs, time.perf_counter() - started)
+
+
+def bench_lowering(cases: List[GeneratedCase]) -> Dict:
+    started = time.perf_counter()
+    for case in cases:
+        for opt_level in ("O0", "O3"):
+            lower_for_backend(
+                case.program, name=case.name, opt_level=opt_level, checker=case.checker
+            )
+    return _stage("lowerings", 2 * len(cases), time.perf_counter() - started)
+
+
+def bench_backends(cases: List[GeneratedCase]) -> Dict:
+    lowered = [
+        lower_for_backend(case.program, name=case.name, opt_level=opt, checker=case.checker)
+        for case in cases
+        for opt in ("O0", "O3")
+    ]
+    emissions = 0
+    started = time.perf_counter()
+    for item in lowered:
+        for isa in ("x86", "arm"):
+            emit_from_lowered(item, isa)
+            emissions += 1
+    return _stage("emissions", emissions, time.perf_counter() - started)
+
+
+def bench_fuzz(
+    seed: int, sequential_count: int, batched_count: int, jobs: int
+) -> Dict:
+    backends = ("x86",) if have_native_toolchain() else ()
+    sequential_config = FuzzConfig(backends=backends, use_batch=False)
+    batched_config = FuzzConfig(backends=backends, use_batch=True)
+
+    started = time.perf_counter()
+    sequential_results = run_campaign(sequential_config, seed, sequential_count)
+    sequential_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched_results = run_campaign(batched_config, seed, batched_count, jobs=jobs)
+    batched_seconds = time.perf_counter() - started
+
+    sequential = _stage("cases", sequential_count, sequential_seconds)
+    batched = _stage("cases", batched_count, batched_seconds)
+    batched["jobs"] = jobs
+    clean = all(not r.failed for r in sequential_results + batched_results)
+    return {
+        "legs": ["interp", "ir-O3"] + [f"{b}-{o}" for b in backends for o in ("O0", "O3")],
+        "all_cases_clean": clean,
+        "pre_batching_baseline": dict(PRE_BATCHING_BASELINE),
+        "sequential": sequential,
+        "batched": batched,
+        "speedup_batched_vs_sequential": round(
+            batched["cases_per_second"] / max(1e-9, sequential["cases_per_second"]), 2
+        ),
+        "speedup_batched_vs_pre_batching": round(
+            batched["cases_per_second"]
+            / PRE_BATCHING_BASELINE["cases_per_second"],
+            2,
+        ),
+    }
+
+
+def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
+    stage_count = 40 if quick else 100
+    sequential_count = 25 if quick else 500
+    batched_count = 120 if quick else 500
+    cases = _make_cases(seed, stage_count)
+    report = {
+        "schema": 1,
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "native_toolchain": have_native_toolchain(),
+        },
+        "stages": {
+            "generator": bench_generator(seed, stage_count),
+            "frontend": bench_frontend(cases),
+            "interpreter": bench_interpreter(cases),
+            "lowering": bench_lowering(cases),
+            "backends": bench_backends(cases),
+        },
+        "fuzz": bench_fuzz(seed, sequential_count, batched_count, jobs),
+    }
+    return report
+
+
+def compare_reports(
+    current: Dict, baseline: Dict, tolerance: float, min_speedup: float = 2.5
+) -> Optional[str]:
+    """None when within tolerance, else a human-readable failure message.
+
+    Two gates: the absolute batched throughput must stay within
+    ``tolerance`` of the committed baseline, and — because the baseline may
+    have been recorded on different hardware — the *host-relative*
+    batched-vs-sequential speedup measured inside the current run must stay
+    above ``min_speedup``.  The second gate catches code regressions even
+    when a faster runner would mask them in absolute cases/s.
+    """
+    try:
+        baseline_rate = float(baseline["fuzz"]["batched"]["cases_per_second"])
+    except (KeyError, TypeError, ValueError):
+        return "baseline report has no fuzz.batched.cases_per_second"
+    current_rate = float(current["fuzz"]["batched"]["cases_per_second"])
+    floor = baseline_rate * (1.0 - tolerance)
+    if current_rate < floor:
+        return (
+            f"end-to-end fuzz throughput regressed: {current_rate:.1f} cases/s "
+            f"vs baseline {baseline_rate:.1f} cases/s "
+            f"(> {tolerance:.0%} below baseline)"
+        )
+    speedup = float(current["fuzz"].get("speedup_batched_vs_sequential", 0.0))
+    if speedup < min_speedup:
+        return (
+            f"batched path is only {speedup:.1f}x the sequential path on this "
+            f"host (expected >= {min_speedup:.1f}x): the batching layer has "
+            "regressed even if absolute throughput looks fine"
+        )
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Benchmark the corpus pipeline and record BENCH_pipeline.json.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced case counts (CI smoke: ~30s instead of minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the batched run"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_pipeline.json",
+        help="where to write the report (default ./BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="baseline BENCH_pipeline.json; exit 1 when batched end-to-end "
+        "throughput is more than --tolerance below it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression vs the baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.seed, args.quick, args.jobs)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    fuzz = report["fuzz"]
+    print(f"wrote {args.output}")
+    for stage, numbers in report["stages"].items():
+        rate_key = next(k for k in numbers if k.endswith("_per_second"))
+        print(f"  {stage:<12} {numbers[rate_key]:>9.1f} {rate_key.replace('_', ' ')}")
+    print(
+        f"  fuzz e2e     sequential {fuzz['sequential']['cases_per_second']:.1f} cases/s, "
+        f"batched {fuzz['batched']['cases_per_second']:.1f} cases/s "
+        f"({fuzz['speedup_batched_vs_sequential']:.1f}x; "
+        f"{fuzz['speedup_batched_vs_pre_batching']:.1f}x vs pre-batching baseline)"
+    )
+    if not fuzz["all_cases_clean"]:
+        print("warning: some benchmark cases reported divergences", file=sys.stderr)
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        failure = compare_reports(report, baseline, args.tolerance)
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"throughput within {args.tolerance:.0%} of baseline "
+            f"({baseline['fuzz']['batched']['cases_per_second']:.1f} cases/s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,13 @@ and reports the first observable divergence:
   (interpreter / IR / compiled -O0 / compiled -O3 run natively);
 * :mod:`repro.testing.reduce` — delta-debugging minimiser that shrinks a
   failing program while preserving its divergence;
-* :mod:`repro.testing.fuzz` — the ``python -m repro.testing.fuzz`` CLI.
+* :mod:`repro.testing.frontend` — the per-case front-end context (parse /
+  typecheck / lower once, share across every leg and input vector);
+* :mod:`repro.testing.native` — the native build-and-execute harnesses,
+  including :class:`NativeBatch` (N cases -> one binary per leg, one
+  subprocess per run);
+* :mod:`repro.testing.fuzz` — the ``python -m repro.testing.fuzz`` CLI
+  (``--jobs N`` worker pool, ``--batch-size``, deterministic aggregation).
 """
 
 from typing import List
@@ -29,6 +35,11 @@ __all__: List[str] = [
     "Oracle",
     "IRExecutor",
     "reduce_case",
+    "CaseContext",
+    "NativeBatch",
+    "NativeFunction",
+    "FuzzConfig",
+    "run_campaign",
 ]
 
 
@@ -49,4 +60,16 @@ def __getattr__(name: str):
         from repro.testing.reduce import reduce_case
 
         return reduce_case
+    if name == "CaseContext":
+        from repro.testing.frontend import CaseContext
+
+        return CaseContext
+    if name in ("NativeBatch", "NativeFunction"):
+        from repro.testing import native
+
+        return getattr(native, name)
+    if name in ("FuzzConfig", "run_campaign"):
+        from repro.testing import fuzz
+
+        return getattr(fuzz, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

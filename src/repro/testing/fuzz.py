@@ -5,9 +5,22 @@ oracle (interpreter / optimised IR / native -O0 / native -O3) and, on the
 first divergence, minimises the failing program with the delta-debugging
 reducer and prints a ready-to-commit reproducer.
 
+Throughput machinery (all verdict-preserving):
+
+* **Batched native execution** (default): cases are evaluated in batches of
+  ``--batch-size`` through :meth:`Oracle.check_batch`, which compiles each
+  batch into one translation unit per native leg and runs it in one
+  subprocess — O(legs) toolchain invocations per batch instead of
+  O(cases x legs).  ``--no-batch`` restores the one-case-at-a-time path.
+* **Parallel evaluation**: ``--jobs N`` shards the case indices round-robin
+  across N worker processes.  Each case's verdict depends only on its seed,
+  so results are aggregated deterministically by case index regardless of
+  worker scheduling.
+
 Typical invocations::
 
     python -m repro.testing.fuzz --seed 0 --count 500
+    python -m repro.testing.fuzz --seed 0 --count 500 --jobs 4
     python -m repro.testing.fuzz --seed 3 --count 50 --max-stmts 6 --backend none
     python -m repro.testing.fuzz --seed 0 --count 20 --inject-miscompile
 
@@ -18,11 +31,13 @@ divergence was found (or a leg failed to build).
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import sys
 import time
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-from repro.testing.generator import ProgramGenerator
+from repro.testing.generator import GeneratedCase, ProgramGenerator
 from repro.testing.oracle import Oracle, OracleError
 from repro.testing.reduce import oracle_interestingness, reduce_case
 
@@ -47,20 +62,148 @@ def strip_cltd(assembly: str) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _build_oracle(args: argparse.Namespace) -> Oracle:
-    backends: List[str]
-    if args.backend == "none":
-        backends = []
-    elif args.backend == "both":
-        backends = ["x86", "arm"]
-    else:
-        backends = [args.backend]
-    asm_transform = strip_cltd if args.inject_miscompile else None
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Picklable campaign configuration (shared with worker processes)."""
+
+    backends: Tuple[str, ...] = ("x86",)
+    inject_miscompile: bool = False
+    require_native: bool = False
+    max_stmts: int = 12
+    batch_size: int = 32
+    use_batch: bool = True
+
+
+@dataclass
+class CaseResult:
+    """One case's verdict, independent of evaluation order or sharding."""
+
+    index: int
+    seed: int
+    status: str  # "ok" | "divergence" | "build-error"
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
+
+
+def build_oracle(config: FuzzConfig) -> Oracle:
     return Oracle(
-        backends=backends,
-        asm_transform=asm_transform,
-        require_native=args.require_native,
+        backends=list(config.backends),
+        asm_transform=strip_cltd if config.inject_miscompile else None,
+        require_native=config.require_native,
     )
+
+
+def generate(config: FuzzConfig, base_seed: int, index: int) -> GeneratedCase:
+    return ProgramGenerator(
+        case_seed(base_seed, index), max_stmts=config.max_stmts
+    ).generate()
+
+
+def evaluate_cases(
+    oracle: Oracle, config: FuzzConfig, base_seed: int, indices: Sequence[int]
+) -> List[CaseResult]:
+    """Evaluate the given case indices (batched unless disabled)."""
+    results: List[CaseResult] = []
+    if not config.use_batch:
+        for index in indices:
+            case = generate(config, base_seed, index)
+            seed = case_seed(base_seed, index)
+            try:
+                divergence = oracle.check_case(case.source, case.name, case.inputs)
+            except Exception as exc:  # build failures are findings, not crashes
+                results.append(CaseResult(index, seed, "build-error", str(exc)))
+                continue
+            if divergence is None:
+                results.append(CaseResult(index, seed, "ok"))
+            else:
+                results.append(
+                    CaseResult(index, seed, "divergence", divergence.describe())
+                )
+        return results
+
+    for start in range(0, len(indices), config.batch_size):
+        chunk = list(indices[start : start + config.batch_size])
+        cases = [generate(config, base_seed, index) for index in chunk]
+        verdicts = oracle.check_batch(cases)
+        for index, verdict in zip(chunk, verdicts):
+            seed = case_seed(base_seed, index)
+            if verdict is None:
+                results.append(CaseResult(index, seed, "ok"))
+            elif isinstance(verdict, Exception):
+                results.append(CaseResult(index, seed, "build-error", str(verdict)))
+            else:
+                results.append(
+                    CaseResult(index, seed, "divergence", verdict.describe())
+                )
+    return results
+
+
+def _campaign_worker(payload) -> List[CaseResult]:
+    config, base_seed, indices = payload
+    return evaluate_cases(build_oracle(config), config, base_seed, indices)
+
+
+def run_campaign(
+    config: FuzzConfig,
+    base_seed: int,
+    count: int,
+    jobs: int = 1,
+    oracle: Optional[Oracle] = None,
+) -> List[CaseResult]:
+    """Evaluate ``count`` cases and return per-case results sorted by index.
+
+    With ``jobs > 1`` the indices are striped round-robin over a process
+    pool; every case's verdict depends only on its seed, so the aggregated
+    result list is byte-identical to a single-process run.
+    """
+    indices = list(range(count))
+    if jobs <= 1:
+        working_oracle = oracle if oracle is not None else build_oracle(config)
+        return evaluate_cases(working_oracle, config, base_seed, indices)
+    shards = [indices[worker::jobs] for worker in range(jobs)]
+    payloads = [(config, base_seed, shard) for shard in shards if shard]
+    with multiprocessing.Pool(processes=len(payloads)) as pool:
+        shard_results = pool.map(_campaign_worker, payloads)
+    results = [result for shard in shard_results for result in shard]
+    results.sort(key=lambda result: result.index)
+    return results
+
+
+def _report_failure(
+    result: CaseResult, case: GeneratedCase, oracle: Oracle, args: argparse.Namespace
+) -> None:
+    if result.status == "build-error":
+        print(f"\ncase {result.index} (seed {result.seed}): leg failed to build: {result.detail}")
+        print(case.source)
+        return
+    print(f"\ncase {result.index} (seed {result.seed}) DIVERGES:")
+    print(result.detail)
+    print("--- program ---")
+    print(case.source)
+    if args.no_reduce:
+        return
+    print("--- reducing ---")
+    predicate = oracle_interestingness(oracle, case.name)
+    reduced = reduce_case(
+        case.source,
+        case.name,
+        case.inputs,
+        predicate,
+        max_attempts=args.reduce_attempts,
+    )
+    final = oracle.check_case(reduced.source, case.name, reduced.inputs)
+    print(
+        f"reduced after {reduced.attempts} attempts "
+        f"({reduced.accepted} accepted edits) to "
+        f"{len(reduced.source.strip().splitlines())} lines:"
+    )
+    print(reduced.source)
+    print(f"inputs: {reduced.inputs!r}")
+    if final is not None:
+        print(final.describe())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,6 +221,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("x86", "arm", "both", "none"),
         default="x86",
         help="native legs to run (default x86; 'none' keeps interp vs IR only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; case indices are sharded round-robin and "
+        "results aggregated deterministically by index (default 1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="cases per native batch build (default 32)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="evaluate one case per native build/run (the pre-batching path; "
+        "slower, used as the parity reference)",
     )
     parser.add_argument(
         "--require-native",
@@ -108,8 +270,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    backends: Tuple[str, ...]
+    if args.backend == "none":
+        backends = ()
+    elif args.backend == "both":
+        backends = ("x86", "arm")
+    else:
+        backends = (args.backend,)
+    config = FuzzConfig(
+        backends=backends,
+        inject_miscompile=args.inject_miscompile,
+        require_native=args.require_native,
+        max_stmts=args.max_stmts,
+        batch_size=max(1, args.batch_size),
+        use_batch=not args.no_batch,
+    )
+
     try:
-        oracle = _build_oracle(args)
+        oracle = build_oracle(config)
     except OracleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -130,52 +308,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     started = time.time()
     failures = 0
     checked = 0
-    for index in range(args.count):
-        checked = index + 1
-        seed = case_seed(args.seed, index)
-        case = ProgramGenerator(seed, max_stmts=args.max_stmts).generate()
-        try:
-            divergence = oracle.check_case(case.source, case.name, case.inputs)
-        except Exception as exc:  # build failures are findings, not crashes
+
+    if args.jobs > 1:
+        # Parallel: evaluate everything, then report in deterministic order.
+        results = run_campaign(config, args.seed, args.count, jobs=args.jobs)
+        checked = len(results)
+        for result in results:
+            if not result.failed:
+                continue
             failures += 1
-            print(f"\ncase {index} (seed {seed}): leg failed to build: {exc}")
-            print(case.source)
+            _report_failure(
+                result, generate(config, args.seed, result.index), oracle, args
+            )
             if not args.keep_going:
                 break
-            continue
-        if divergence is None:
-            if (index + 1) % 25 == 0:
-                rate = (index + 1) / (time.time() - started)
-                print(f"  {index + 1}/{args.count} cases ok ({rate:.1f}/s)")
-            continue
-
-        failures += 1
-        print(f"\ncase {index} (seed {seed}) DIVERGES:")
-        print(divergence.describe())
-        print("--- program ---")
-        print(case.source)
-        if not args.no_reduce:
-            print("--- reducing ---")
-            predicate = oracle_interestingness(oracle, case.name)
-            result = reduce_case(
-                case.source,
-                case.name,
-                case.inputs,
-                predicate,
-                max_attempts=args.reduce_attempts,
-            )
-            final = oracle.check_case(result.source, case.name, result.inputs)
-            print(
-                f"reduced after {result.attempts} attempts "
-                f"({result.accepted} accepted edits) to "
-                f"{len(result.source.strip().splitlines())} lines:"
-            )
-            print(result.source)
-            print(f"inputs: {result.inputs!r}")
-            if final is not None:
-                print(final.describe())
-        if not args.keep_going:
-            break
+    else:
+        # Sequential: evaluate in chunks so a failure can stop the run early.
+        chunk_size = config.batch_size if config.use_batch else 1
+        last_progress = 0
+        for start in range(0, args.count, chunk_size):
+            indices = range(start, min(start + chunk_size, args.count))
+            results = evaluate_cases(oracle, config, args.seed, indices)
+            checked += len(results)
+            stop = False
+            for result in results:
+                if not result.failed:
+                    continue
+                failures += 1
+                _report_failure(
+                    result, generate(config, args.seed, result.index), oracle, args
+                )
+                if not args.keep_going:
+                    stop = True
+                    break
+            if stop:
+                break
+            # Progress roughly every 25 cases (and at the end), independent
+            # of chunk size and of earlier --keep-going failures.
+            if checked - last_progress >= 25 or checked >= args.count:
+                rate = checked / max(1e-9, time.time() - started)
+                label = "ok" if not failures else "checked"
+                print(f"  {checked}/{args.count} cases {label} ({rate:.1f}/s)")
+                last_progress = checked
 
     elapsed = time.time() - started
     if failures:

@@ -39,7 +39,7 @@ from repro.lang import ast_nodes as ast
 from repro.lang import ctypes as ct
 from repro.lang.parser import parse_program
 from repro.lang.printer import print_program
-from repro.lang.typecheck import check_program
+from repro.lang.typecheck import TypeChecker
 
 #: The integer scalar types the sampler draws from.
 SCALAR_TYPES: Tuple[ct.IntType, ...] = (
@@ -63,12 +63,19 @@ _COMPOUND_OPS = ("+=", "-=", "*=", "&=", "|=", "^=")
 
 @dataclass
 class GeneratedCase:
-    """One fuzzing case: a program, its entry point and argument vectors."""
+    """One fuzzing case: a program, its entry point and argument vectors.
+
+    ``program``/``checker`` carry the round-trip parse and its type-check
+    forward so downstream consumers (the oracle's :class:`CaseContext`)
+    don't parse and analyse the same text a second time.
+    """
 
     source: str
     name: str
     inputs: List[Tuple]
     seed: int
+    program: Optional[ast.Program] = None
+    checker: Optional[object] = None
 
 
 @dataclass
@@ -399,9 +406,11 @@ class ProgramGenerator:
         source = print_program(program)
 
         # Round-trip: the text must survive the real front end unchanged in
-        # meaning, and type-check cleanly.
+        # meaning, and type-check cleanly.  The reparsed program and its
+        # checker ride along on the case so the oracle starts from them.
         reparsed = parse_program(source)
-        result = check_program(reparsed)
+        checker = TypeChecker(reparsed)
+        result = checker.check()
         if result.errors or not result.missing.is_empty():
             raise AssertionError(
                 f"generator produced an ill-typed program (seed {self.seed}): "
@@ -412,7 +421,9 @@ class ProgramGenerator:
             tuple(self._argument_for(p.type) for p in params)
             for _ in range(self.rng.randint(3, 5))
         ]
-        return GeneratedCase(source, self.function_name, inputs, self.seed)
+        return GeneratedCase(
+            source, self.function_name, inputs, self.seed, reparsed, checker
+        )
 
 
 def generate_case(seed: int, max_stmts: int = 12) -> GeneratedCase:

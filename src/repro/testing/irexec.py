@@ -42,6 +42,47 @@ class IRExecError(CInterpreterError):
     """Raised when IR execution traps (division by zero, bad memory, ...)."""
 
 
+# Per-instruction dispatch codes, precomputed once per lowered function so
+# the hot loop switches on a small int instead of isinstance checks.
+(
+    _K_LABEL, _K_CONST, _K_MOVE, _K_BINOP, _K_CMP, _K_UNARY, _K_CAST,
+    _K_LOAD, _K_STORE, _K_FRAMEADDR, _K_GLOBALADDR, _K_CALL, _K_JUMP,
+    _K_BRANCH, _K_RET,
+) = range(15)
+
+_CMP_FUNCS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_BINOP_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+    "shl": "<<", "shr": ">>", "and": "&", "or": "|", "xor": "^",
+}
+
+_KIND_OF = {
+    ir.IRLabel: _K_LABEL,
+    ir.IRConst: _K_CONST,
+    ir.IRMove: _K_MOVE,
+    ir.IRBinOp: _K_BINOP,
+    ir.IRCmp: _K_CMP,
+    ir.IRUnary: _K_UNARY,
+    ir.IRCast: _K_CAST,
+    ir.IRLoad: _K_LOAD,
+    ir.IRStore: _K_STORE,
+    ir.IRFrameAddr: _K_FRAMEADDR,
+    ir.IRGlobalAddr: _K_GLOBALADDR,
+    ir.IRCall: _K_CALL,
+    ir.IRJump: _K_JUMP,
+    ir.IRBranch: _K_BRANCH,
+    ir.IRRet: _K_RET,
+}
+
+
 def _wrap_to(bits: int, unsigned: bool, value: int) -> int:
     return ct.int_type_for_bits(bits, unsigned).wrap(int(value))
 
@@ -54,7 +95,8 @@ class IRExecutor:
         program: Union[str, ast.Program],
         opt_level: str = "O3",
         max_steps: int = 2_000_000,
-        lowering_cache: Optional[Dict[str, Tuple[ir.IRFunction, Dict[str, str]]]] = None,
+        lowering_cache: Optional[Dict[str, Tuple]] = None,
+        checker=None,
     ) -> None:
         if isinstance(program, str):
             program = parse_program(program)
@@ -64,34 +106,59 @@ class IRExecutor:
         self.steps = 0
         # The interpreter provides memory, typed global allocation (with
         # initialisers applied), marshalling and builtins; its AST evaluator
-        # is never invoked for the function under test.
-        self.interp = Interpreter(program)
+        # is never invoked for the function under test.  ``checker`` shares
+        # an already-run TypeChecker across executors (one per input vector
+        # in the oracle) so semantic analysis runs once per case.
+        self.interp = Interpreter(program, checker=checker)
         self.memory = self.interp.memory
         # Execution never mutates the lowered IR, so callers running the
         # same program on many inputs can share one cache across executors.
-        self._lowered: Dict[str, Tuple[ir.IRFunction, Dict[str, str]]] = (
+        # Entries are (ir_func, strings) when seeded externally and are
+        # widened in place to (ir_func, strings, labels, kinds) on first use.
+        self._lowered: Dict[str, Tuple] = (
             lowering_cache if lowering_cache is not None else {}
         )
 
     # -- lowering -------------------------------------------------------------
 
-    def _function_ir(self, name: str) -> Tuple[ir.IRFunction, Dict[str, str]]:
-        if name in self._lowered:
-            return self._lowered[name]
+    def _function_ir(self, name: str) -> Tuple:
+        entry = self._lowered.get(name)
+        if entry is not None:
+            if len(entry) == 2:
+                entry = self._widen_entry(name, *entry)
+            return entry
         func = self.program.function(name)
         if func is None:
             raise IRExecError(f"no function named {name!r}")
         if self.opt_level == "O3":
             func = optimize_function_ast(func)
         try:
-            lowerer = Lowerer(self.program, func, promote_scalars=(self.opt_level == "O3"))
+            lowerer = Lowerer(
+                self.program,
+                func,
+                promote_scalars=(self.opt_level == "O3"),
+                checker=self.interp.checker,
+            )
             ir_func, strings = lowerer.lower()
         except LoweringError as exc:
             raise IRExecError(f"lowering error: {exc}") from exc
         if self.opt_level == "O3":
             optimize_ir(ir_func)
-        self._lowered[name] = (ir_func, strings)
-        return ir_func, strings
+        return self._widen_entry(name, ir_func, strings)
+
+    def _widen_entry(self, name: str, ir_func: ir.IRFunction, strings: Dict[str, str]) -> Tuple:
+        # The label table and the per-instruction dispatch codes depend only
+        # on the (immutable) IR, so they are computed once per function and
+        # shared by every executor using this cache.
+        labels = {
+            instr.name: index
+            for index, instr in enumerate(ir_func.instrs)
+            if isinstance(instr, ir.IRLabel)
+        }
+        kinds = [_KIND_OF.get(type(instr), -1) for instr in ir_func.instrs]
+        entry = (ir_func, strings, labels, kinds)
+        self._lowered[name] = entry
+        return entry
 
     # -- public API -----------------------------------------------------------
 
@@ -145,18 +212,13 @@ class IRExecutor:
             # and writes the shared memory).
             return self.interp._call_builtin(name, list(args), None, {})
 
-        func, strings = self._function_ir(name)
+        func, strings, labels, kinds = self._function_ir(name)
         regs: Dict[ir.VReg, Union[int, float]] = {}
         for preg, value in zip(func.params, args):
             regs[preg] = self._coerce(preg, value)
         slot_addrs = {
             slot.name: self.memory.allocate(max(slot.size, 1))
             for slot in func.slots.values()
-        }
-        labels = {
-            instr.name: index
-            for index, instr in enumerate(func.instrs)
-            if isinstance(instr, ir.IRLabel)
         }
 
         def value_of(operand: ir.Operand) -> Union[int, float]:
@@ -166,54 +228,58 @@ class IRExecutor:
                 return regs[operand]
             return operand
 
+        # Dispatch on precomputed per-instruction kind codes (one list
+        # index + integer compare per step) instead of an isinstance chain.
         pc = 0
         instrs = func.instrs
-        while pc < len(instrs):
+        count = len(instrs)
+        while pc < count:
             self._tick()
+            kind = kinds[pc]
             instr = instrs[pc]
             pc += 1
-            if isinstance(instr, (ir.IRLabel,)):
+            if kind == _K_LABEL:
                 continue
-            if isinstance(instr, ir.IRConst):
+            if kind == _K_CONST:
                 regs[instr.dst] = self._coerce(instr.dst, instr.value)
-            elif isinstance(instr, ir.IRMove):
+            elif kind == _K_MOVE:
                 regs[instr.dst] = self._coerce(instr.dst, value_of(instr.src))
-            elif isinstance(instr, ir.IRBinOp):
+            elif kind == _K_BINOP:
                 regs[instr.dst] = self._binop(instr, value_of(instr.left), value_of(instr.right))
-            elif isinstance(instr, ir.IRCmp):
+            elif kind == _K_CMP:
                 regs[instr.dst] = self._cmp(instr, value_of(instr.left), value_of(instr.right))
-            elif isinstance(instr, ir.IRUnary):
+            elif kind == _K_UNARY:
                 regs[instr.dst] = self._unary(instr, value_of(instr.src))
-            elif isinstance(instr, ir.IRCast):
+            elif kind == _K_CAST:
                 regs[instr.dst] = self._cast(instr, value_of(instr.src))
-            elif isinstance(instr, ir.IRLoad):
+            elif kind == _K_LOAD:
                 addr = int(value_of(instr.addr)) + instr.offset
                 if instr.is_float:
                     regs[instr.dst] = self.memory.read_float(addr, instr.size)
                 else:
                     value = self.memory.read_int(addr, instr.size, signed=instr.signed)
                     regs[instr.dst] = self._coerce(instr.dst, value)
-            elif isinstance(instr, ir.IRStore):
+            elif kind == _K_STORE:
                 addr = int(value_of(instr.addr)) + instr.offset
                 src = value_of(instr.src)
                 if instr.is_float:
                     self.memory.write_float(addr, float(src), instr.size)
                 else:
                     self.memory.write_int(addr, int(src), instr.size)
-            elif isinstance(instr, ir.IRFrameAddr):
+            elif kind == _K_FRAMEADDR:
                 regs[instr.dst] = slot_addrs[instr.slot]
-            elif isinstance(instr, ir.IRGlobalAddr):
+            elif kind == _K_GLOBALADDR:
                 regs[instr.dst] = self._symbol_addr(instr.symbol, strings)
-            elif isinstance(instr, ir.IRCall):
+            elif kind == _K_CALL:
                 result = self._call(instr.name, [value_of(a) for a in instr.args])
                 if instr.dst is not None:
                     regs[instr.dst] = self._coerce(instr.dst, 0 if result is None else result)
-            elif isinstance(instr, ir.IRJump):
+            elif kind == _K_JUMP:
                 pc = labels[instr.target]
-            elif isinstance(instr, ir.IRBranch):
+            elif kind == _K_BRANCH:
                 taken = value_of(instr.cond) != 0
                 pc = labels[instr.true_target if taken else instr.false_target]
-            elif isinstance(instr, ir.IRRet):
+            elif kind == _K_RET:
                 if instr.value is None:
                     return None
                 return value_of(instr.value)
@@ -244,10 +310,7 @@ class IRExecutor:
                     raise IRExecError("floating point division by zero")
                 return lf / rf
             raise IRExecError(f"unsupported float binop {instr.op!r}")
-        op = {
-            "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
-            "shl": "<<", "shr": ">>", "and": "&", "or": "|", "xor": "^",
-        }[instr.op]
+        op = _BINOP_SYMBOL[instr.op]
         try:
             value = ct.int_binop(op, int(left), int(right), instr.bits, instr.unsigned)
         except ZeroDivisionError as exc:
@@ -261,15 +324,7 @@ class IRExecutor:
         else:
             lv = _wrap_to(instr.bits, instr.unsigned, int(left))
             rv = _wrap_to(instr.bits, instr.unsigned, int(right))
-        table = {
-            "eq": lv == rv,
-            "ne": lv != rv,
-            "lt": lv < rv,
-            "le": lv <= rv,
-            "gt": lv > rv,
-            "ge": lv >= rv,
-        }
-        return 1 if table[instr.op] else 0
+        return 1 if _CMP_FUNCS[instr.op](lv, rv) else 0
 
     def _unary(self, instr: ir.IRUnary, value: Union[int, float]) -> Union[int, float]:
         if instr.is_float:

@@ -1,0 +1,734 @@
+"""Native build-and-execute harnesses for compiled Mini-C assembly.
+
+This is the "run the ground truth for real" half of the paper's
+IO-equivalence check, promoted from ``tests/native_runner.py`` so the
+package no longer reaches into the test tree.  Two harnesses share the
+same encoding/decoding machinery:
+
+* :class:`NativeFunction` — one case per binary, one subprocess per input
+  vector.  Simple, fully isolated; used by the native execution tests and
+  as the oracle's sequential reference path.
+* :class:`NativeBatch` — N cases compiled into **one** translation unit
+  per (ISA, opt level), linked against a single dispatching harness and
+  executed with **one** subprocess per leg (plus one extra per observed
+  trap/timeout, to resume past it).  Toolchain invocations drop from
+  O(cases x legs) to O(legs) per batch, which is where almost all of the
+  fuzz pipeline's wall-clock used to go.
+
+Batching shares one process across cases, so per-case symbols are made
+unique: the entry point and every global are renamed ``__caseN_<name>``
+(whole-word textual rename — safe for generator-produced programs, whose
+identifiers never collide with assembly keywords), and local labels get a
+per-case prefix.  Each case's globals are snapshotted at process start and
+restored before every call so every (case, input) pair still observes the
+pristine initialisers, exactly like a fresh per-case process would.
+
+Argument buffers use the interpreter's packed memory layout (structs have
+no padding), so they are encoded/decoded here as raw bytes rather than
+declared as C aggregates.  Scalar parameters are passed through ``long
+long``/``double`` prototypes: the compiled code expects integer arguments
+sign- or zero-extended to the full 64-bit register, which is exactly what
+a ``long long`` prototype makes the C caller do.
+"""
+
+from __future__ import annotations
+
+import platform
+import re
+import shutil
+import struct
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import ctypes as ct
+from repro.testing.frontend import CaseContext
+
+
+def have_native_toolchain() -> bool:
+    """True when the host can assemble and run x86-64 code."""
+    return (
+        platform.machine() in ("x86_64", "AMD64")
+        and shutil.which("as") is not None
+        and shutil.which("gcc") is not None
+    )
+
+def _arm_cross_compiler() -> Optional[str]:
+    for cc in ("aarch64-linux-gnu-gcc", "aarch64-unknown-linux-gnu-gcc"):
+        if shutil.which(cc):
+            return cc
+    return None
+
+
+def _arm_emulator() -> Optional[List[str]]:
+    if platform.machine() == "aarch64":
+        return []  # run directly on the host
+    for emulator in ("qemu-aarch64", "qemu-aarch64-static"):
+        if shutil.which(emulator):
+            return [emulator]
+    return None
+
+
+def have_arm_toolchain() -> bool:
+    """True when AArch64 output can be assembled and executed.
+
+    Either the host itself is aarch64 with a GNU toolchain, or a cross
+    compiler plus ``qemu-aarch64`` user-mode emulation is installed.
+    """
+    if platform.machine() == "aarch64":
+        return shutil.which("gcc") is not None
+    return _arm_cross_compiler() is not None and _arm_emulator() is not None
+
+
+# ---------------------------------------------------------------------------
+# Packed-byte encoding of Python argument values (mirrors the interpreter's
+# marshalling in Interpreter._marshal_argument / read_typed / write_typed).
+# ---------------------------------------------------------------------------
+
+
+def _encode_scalar(value: Any, t: ct.CType) -> bytes:
+    if isinstance(t, ct.FloatType):
+        return struct.pack("<f" if t.sizeof() == 4 else "<d", float(value))
+    size = t.sizeof()
+    return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+
+def _decode_scalar(data: bytes, t: ct.CType) -> Any:
+    if isinstance(t, ct.FloatType):
+        return struct.unpack("<f" if t.sizeof() == 4 else "<d", data)[0]
+    signed = not (isinstance(t, ct.IntType) and t.unsigned)
+    if isinstance(t, (ct.PointerType, ct.ArrayType)):
+        signed = False
+    return int.from_bytes(data, "little", signed=signed)
+
+
+@dataclass
+class _Buffer:
+    """A pointer argument's backing bytes and how to read it back."""
+
+    data: bytearray
+    elem: Optional[ct.CType] = None  # list arguments
+    count: int = 0
+    struct_type: Optional[ct.StructType] = None  # dict arguments
+    as_string: bool = False
+
+
+def _encode_argument(value: Any, ptype: ct.CType, resolve) -> Optional[_Buffer]:
+    """Encode a Python pointer-argument into packed bytes (None for scalars)."""
+    if isinstance(value, str) and isinstance(ptype, ct.PointerType):
+        data = bytearray(len(value) + 16)
+        raw = value.encode("latin-1", errors="replace")
+        data[: len(raw)] = raw
+        return _Buffer(data, elem=ct.CHAR, count=len(value) + 1, as_string=True)
+    if isinstance(value, (list, tuple)) and isinstance(ptype, ct.PointerType):
+        elem = resolve(ptype.pointee)
+        if isinstance(elem, ct.VoidType):
+            elem = ct.CHAR
+        data = bytearray(max(1, len(value)) * elem.sizeof() + 16)
+        for index, item in enumerate(value):
+            encoded = _encode_scalar(item, elem)
+            data[index * elem.sizeof() : index * elem.sizeof() + len(encoded)] = encoded
+        return _Buffer(data, elem=elem, count=len(value))
+    if isinstance(value, dict) and isinstance(ptype, ct.PointerType):
+        struct_type = resolve(ptype.pointee)
+        data = bytearray(max(struct_type.sizeof(), 8) + 8)
+        for fname, fvalue in value.items():
+            if struct_type.has_field(fname):
+                ftype = resolve(struct_type.field_type(fname))
+                encoded = _encode_scalar(fvalue, ftype)
+                offset = struct_type.field_offset(fname)
+                data[offset : offset + len(encoded)] = encoded
+        return _Buffer(data, struct_type=struct_type)
+    return None
+
+
+def _decode_buffer(data: bytes, buf: _Buffer, resolve) -> Any:
+    if buf.struct_type is not None:
+        out: Dict[str, Any] = {}
+        for fld in buf.struct_type.fields:
+            ftype = resolve(fld.type)
+            offset = buf.struct_type.field_offset(fld.name)
+            out[fld.name] = _decode_scalar(data[offset : offset + ftype.sizeof()], ftype)
+        return out
+    elem = buf.elem or ct.CHAR
+    values = [
+        _decode_scalar(data[i * elem.sizeof() : (i + 1) * elem.sizeof()], elem)
+        for i in range(buf.count)
+    ]
+    if buf.as_string:
+        chars: List[str] = []
+        for v in values:
+            if v == 0:
+                break
+            chars.append(chr(int(v) & 0xFF))
+        return "".join(chars)
+    return values
+
+
+def _decode_global(data: bytes, gtype: ct.CType) -> Any:
+    if isinstance(gtype, ct.ArrayType):
+        elem = gtype.element
+        return [
+            _decode_scalar(data[i * elem.sizeof() : (i + 1) * elem.sizeof()], elem)
+            for i in range(gtype.length or 0)
+        ]
+    return _decode_scalar(data, gtype)
+
+
+# ---------------------------------------------------------------------------
+# Harness generation
+# ---------------------------------------------------------------------------
+
+_DUMP_HELPER = """
+static void dump(const char *tag, const unsigned char *p, long n) {
+    printf("%s ", tag);
+    if (n == 0) { printf("-\\n"); return; }
+    for (long i = 0; i < n; i++) printf("%02x", p[i]);
+    printf("\\n");
+}
+"""
+
+_BITS_HELPER = """
+static double bits_to_double(unsigned long long u) {
+    union { unsigned long long u; double d; } cvt; cvt.u = u; return cvt.d;
+}
+"""
+
+
+def _scalar_literal(value: Any, t: ct.CType) -> str:
+    if isinstance(t, ct.FloatType):
+        bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+        return f"bits_to_double(0x{bits:016x}ULL)"
+    wrapped = t.wrap(int(value)) if isinstance(t, ct.IntType) else int(value)
+    return f"(long long)0x{wrapped & 0xFFFFFFFFFFFFFFFF:016x}ULL"
+
+
+def _prototype(symbol: str, param_types: Sequence[ct.CType], return_type: ct.CType) -> str:
+    args = ", ".join(
+        "double" if isinstance(t, ct.FloatType) else "long long" for t in param_types
+    ) or "void"
+    if ct.is_void(return_type):
+        ret = "void"
+    elif isinstance(return_type, ct.FloatType):
+        ret = "double"
+    else:
+        ret = "long long"
+    return f"extern {ret} {symbol}({args});"
+
+
+def _assembly_globals(assembly: str) -> List[Tuple[str, int]]:
+    """(name, size) for every global data symbol the assembly defines.
+
+    Covers both zero-filled ``.comm`` symbols and initialised ``.data``
+    objects (recognised by their ``.size name, N`` directive; function
+    symbols use ``.size name, .-name`` and so never match).
+    """
+    found = [
+        (name, int(size))
+        for name, size in re.findall(r"^\t\.comm\t([A-Za-z_]\w*),(\d+)", assembly, re.M)
+    ]
+    found.extend(
+        (name, int(size))
+        for name, size in re.findall(
+            r"^\t\.size\t([A-Za-z_]\w*), (\d+)$", assembly, re.M
+        )
+    )
+    return found
+
+
+def _build_command(
+    isa: str, binary: Path, sources: Sequence[Path]
+) -> Tuple[List[str], List[str]]:
+    """(build command, execution prefix) for one linked harness binary."""
+    if isa == "arm" and platform.machine() != "aarch64":
+        cc = _arm_cross_compiler()
+        assert cc is not None, "no AArch64 cross compiler available"
+        build = [cc, "-static", "-o", str(binary), *map(str, sources)]
+        return build, _arm_emulator() or []
+    build = ["gcc", "-no-pie", "-o", str(binary), *map(str, sources)]
+    return build, []
+
+
+@dataclass
+class NativeResult:
+    """Observable state of one native execution."""
+
+    return_value: Any
+    arg_values: List[Any]
+    globals: Dict[str, Any]
+
+
+class NativeFunction:
+    """A corpus function assembled to a host executable (one case, one
+    subprocess per input vector).
+
+    ``isa`` selects the backend: ``"x86"`` builds with the host toolchain,
+    ``"arm"`` builds a static binary with the AArch64 cross compiler and
+    executes it under ``qemu-aarch64`` (or directly on aarch64 hosts).
+    ``asm_transform``, when given, rewrites the assembly text before it is
+    assembled — the fuzzer uses this to inject deliberate miscompiles.
+    ``context`` shares an already-computed front half (parse/typecheck/
+    lowered IR) so repeated builds of one case do not repeat it.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        name: str,
+        inputs: Sequence[Tuple[Any, ...]],
+        opt_level: str,
+        workdir: Path,
+        isa: str = "x86",
+        asm_transform: Optional[Callable[[str], str]] = None,
+        run_timeout: float = 10.0,
+        context: Optional[CaseContext] = None,
+    ) -> None:
+        self.source = source
+        self.name = name
+        self.inputs = list(inputs)
+        self.opt_level = opt_level
+        self.isa = isa
+        self.run_timeout = run_timeout
+        self._context = context if context is not None else CaseContext(source, name)
+        self._resolve = self._context.resolve
+        self.param_types = self._context.param_types()
+        self.return_type = self._context.return_type()
+        assembly = self._context.assembly(isa, opt_level)
+        if asm_transform is not None:
+            assembly = asm_transform(assembly)
+        self.globals = _assembly_globals(assembly)
+        self._buffers: List[List[Optional[_Buffer]]] = []
+        asm_path = workdir / f"{name}_{isa}_{opt_level}.s"
+        asm_path.write_text(assembly)
+        harness_path = workdir / f"{name}_{isa}_{opt_level}_main.c"
+        harness_path.write_text(self._generate_harness())
+        self.binary = workdir / f"{name}_{isa}_{opt_level}"
+        build, self._exec_prefix = _build_command(isa, self.binary, [harness_path, asm_path])
+        subprocess.run(build, check=True, capture_output=True, timeout=120)
+
+    # -- C generation --------------------------------------------------------
+
+    def _generate_harness(self) -> str:
+        lines = [
+            "#include <stdio.h>",
+            "#include <stdlib.h>",
+            "",
+            _prototype(self.name, self.param_types, self.return_type),
+        ]
+        for gname, _ in self.globals:
+            lines.append(f"extern unsigned char {gname}[];")
+        lines.append(_DUMP_HELPER)
+        lines.append(_BITS_HELPER)
+        body: List[str] = []
+        for index, args in enumerate(self.inputs):
+            buffers: List[Optional[_Buffer]] = []
+            call_args: List[str] = []
+            decls: List[str] = []
+            for j, (value, ptype) in enumerate(zip(args, self.param_types)):
+                buf = _encode_argument(value, ptype, self._resolve)
+                buffers.append(buf)
+                if buf is None:
+                    call_args.append(_scalar_literal(value, ptype))
+                else:
+                    cname = f"in{index}_{j}"
+                    data = ", ".join(str(b) for b in buf.data)
+                    decls.append(f"static unsigned char {cname}[] = {{ {data} }};")
+                    call_args.append(f"(long long){cname}")
+            self._buffers.append(buffers)
+            body.append(f"    if (idx == {index}) {{")
+            for decl in decls:
+                body.append(f"        {decl}")
+            call = f"{self.name}({', '.join(call_args)})"
+            if ct.is_void(self.return_type):
+                body.append(f"        {call};")
+            elif isinstance(self.return_type, ct.FloatType):
+                body.append(f"        printf(\"RETF %.17g\\n\", {call});")
+            else:
+                body.append(f"        printf(\"RET %lld\\n\", {call});")
+            for j, buf in enumerate(buffers):
+                if buf is not None:
+                    body.append(f"        dump(\"ARG{j}\", in{index}_{j}, {len(buf.data)});")
+            for gname, gsize in self.globals:
+                body.append(f"        dump(\"GLB:{gname}\", {gname}, {gsize});")
+            body.append("    }")
+        lines.append("int main(int argc, char **argv) {")
+        lines.append("    int idx = argc > 1 ? atoi(argv[1]) : 0;")
+        lines.extend(body)
+        lines.append("    return 0;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, index: int) -> NativeResult:
+        """Execute input set ``index`` natively and decode the output."""
+        # The timeout guards the differential oracle/reducer against
+        # candidate programs that loop forever (the interpreter leg traps on
+        # its step budget; the native binary has no such budget).
+        proc = subprocess.run(
+            self._exec_prefix + [str(self.binary), str(index)],
+            check=True,
+            capture_output=True,
+            text=True,
+            timeout=self.run_timeout,
+        )
+        return_value: Any = None
+        arg_values: List[Any] = list(self.inputs[index])
+        global_values: Dict[str, Any] = {}
+        for line in proc.stdout.splitlines():
+            tag, _, payload = line.partition(" ")
+            if tag == "RET":
+                raw = int(payload)
+                if isinstance(self.return_type, ct.IntType):
+                    raw = self.return_type.wrap(raw)
+                return_value = raw
+            elif tag == "RETF":
+                return_value = float(payload)
+            elif tag.startswith("ARG"):
+                j = int(tag[3:])
+                buf = self._buffers[index][j]
+                data = b"" if payload == "-" else bytes.fromhex(payload)
+                if buf is not None:
+                    arg_values[j] = _decode_buffer(data, buf, self._resolve)
+            elif tag.startswith("GLB:"):
+                gname = tag[4:]
+                data = b"" if payload == "-" else bytes.fromhex(payload)
+                global_values[gname] = _decode_global(data, self._context.global_type(gname))
+        return NativeResult(return_value, arg_values, global_values)
+
+    def expected(self, index: int):
+        """The interpreter's observable state on the same input."""
+        return self._context.interpreter().run_function(self.name, self.inputs[index])
+
+
+# ---------------------------------------------------------------------------
+# Batched execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchCase:
+    """One case submitted to a :class:`NativeBatch`."""
+
+    source: str
+    name: str
+    inputs: List[Tuple]
+    context: Optional[CaseContext] = None
+    #: Pre-compiled assembly (before renaming).  When None the batch
+    #: compiles it from the context.
+    assembly: Optional[str] = None
+
+
+@dataclass
+class _BatchEntry:
+    """Internal per-case build products."""
+
+    case: BatchCase
+    context: CaseContext
+    symbol: str  # mangled entry-point name
+    globals: List[Tuple[str, int]] = field(default_factory=list)  # original names
+    buffers: List[List[Optional[_Buffer]]] = field(default_factory=list)
+
+
+class BatchExecutionError(Exception):
+    """The batch binary failed outside any case (infrastructure problem)."""
+
+
+def _mangle(index: int, name: str) -> str:
+    return f"__case{index}_{name}"
+
+
+def _rename_case_symbols(assembly: str, index: int, names: Sequence[str]) -> str:
+    """Make one case's assembly link-safe inside a many-case TU.
+
+    Local labels (``.L...``) get a per-case prefix; the entry point and the
+    globals in ``names`` are renamed to their mangled form.  The rename is
+    textual but whole-word, which is sound for generator-produced programs:
+    their identifiers are fresh (``g4``, ``fuzz_target``) and never collide
+    with mnemonics, registers or directives.
+    """
+    out = re.sub(r"\.L(?=[A-Za-z0-9_])", f".Lc{index}_", assembly)
+    for name in names:
+        out = re.sub(rf"\b{re.escape(name)}\b", _mangle(index, name), out)
+    return out
+
+
+class NativeBatch:
+    """Many cases, one binary per (ISA, opt level), one subprocess per run.
+
+    The dispatching harness executes every (case, input-vector) pair in
+    order, restoring the case's globals from a startup snapshot before each
+    call and bracketing each pair's output with ``PAIR n`` / ``DONE n``
+    markers.  A pair that traps kills the process *after* its ``PAIR``
+    marker has been flushed, so the parent knows exactly which observation
+    the signal belongs to, records it, and relaunches the binary starting
+    at the next pair.  Clean batches therefore cost exactly one subprocess;
+    each trap or timeout costs one more.
+    """
+
+    def __init__(
+        self,
+        cases: Sequence[BatchCase],
+        opt_level: str,
+        workdir: Path,
+        isa: str = "x86",
+        asm_transform: Optional[Callable[[str], str]] = None,
+        run_timeout: float = 10.0,
+        tag: str = "batch",
+    ) -> None:
+        self.opt_level = opt_level
+        self.isa = isa
+        self.run_timeout = run_timeout
+        self.entries: List[_BatchEntry] = []
+        self._pairs: List[Tuple[int, int]] = []  # flat -> (case, input)
+        self._outcomes: Optional[Dict[Tuple[int, int], Tuple[str, Any]]] = None
+        self._failure: Optional[Exception] = None
+
+        asm_parts: List[str] = []
+        for index, case in enumerate(cases):
+            context = case.context if case.context is not None else CaseContext(
+                case.source, case.name
+            )
+            assembly = (
+                case.assembly
+                if case.assembly is not None
+                else context.assembly(isa, opt_level)
+            )
+            if asm_transform is not None:
+                assembly = asm_transform(assembly)
+            entry = _BatchEntry(case, context, _mangle(index, case.name))
+            entry.globals = _assembly_globals(assembly)
+            asm_parts.append(
+                _rename_case_symbols(
+                    assembly, index, [case.name] + [g for g, _ in entry.globals]
+                )
+            )
+            self.entries.append(entry)
+            for input_index in range(len(case.inputs)):
+                self._pairs.append((index, input_index))
+
+        asm_path = workdir / f"{tag}_{isa}_{opt_level}.s"
+        asm_path.write_text("\n".join(asm_parts))
+        harness_path = workdir / f"{tag}_{isa}_{opt_level}_main.c"
+        harness_path.write_text(self._generate_harness())
+        self.binary = workdir / f"{tag}_{isa}_{opt_level}"
+        build, self._exec_prefix = _build_command(isa, self.binary, [harness_path, asm_path])
+        subprocess.run(build, check=True, capture_output=True, timeout=300)
+
+    # -- C generation --------------------------------------------------------
+
+    def _generate_harness(self) -> str:
+        lines = [
+            "#include <stdio.h>",
+            "#include <stdlib.h>",
+            "#include <string.h>",
+            "",
+        ]
+        for index, entry in enumerate(self.entries):
+            context = entry.context
+            lines.append(
+                _prototype(entry.symbol, context.param_types(), context.return_type())
+            )
+            for gname, gsize in entry.globals:
+                lines.append(f"extern unsigned char {_mangle(index, gname)}[];")
+                lines.append(f"static unsigned char snap{index}_{gname}[{gsize}];")
+        lines.append(_DUMP_HELPER)
+        lines.append(_BITS_HELPER)
+        lines.append("int main(int argc, char **argv) {")
+        lines.append("    long start = argc > 1 ? atol(argv[1]) : 0;")
+        lines.append("    long pair = -1;")
+        # Snapshot every case's pristine globals before anything runs.
+        for index, entry in enumerate(self.entries):
+            for gname, gsize in entry.globals:
+                lines.append(
+                    f"    memcpy(snap{index}_{gname}, {_mangle(index, gname)}, {gsize});"
+                )
+
+        for index, entry in enumerate(self.entries):
+            context = entry.context
+            param_types = context.param_types()
+            return_type = context.return_type()
+            entry.buffers = []
+            for input_index, args in enumerate(entry.case.inputs):
+                buffers: List[Optional[_Buffer]] = []
+                call_args: List[str] = []
+                decls: List[str] = []
+                for j, (value, ptype) in enumerate(zip(args, param_types)):
+                    buf = _encode_argument(value, ptype, context.resolve)
+                    buffers.append(buf)
+                    if buf is None:
+                        call_args.append(_scalar_literal(value, ptype))
+                    else:
+                        cname = f"in{index}_{input_index}_{j}"
+                        data = ", ".join(str(b) for b in buf.data)
+                        decls.append(
+                            f"        static unsigned char {cname}[] = {{ {data} }};"
+                        )
+                        call_args.append(f"(long long){cname}")
+                entry.buffers.append(buffers)
+                lines.append("    pair++;")
+                lines.append("    if (pair >= start) {")
+                lines.extend(decls)
+                # The PAIR marker is flushed before the call so a trapping
+                # pair is attributable from the partial output.
+                lines.append('        printf("PAIR %ld\\n", pair); fflush(stdout);')
+                for gname, gsize in entry.globals:
+                    lines.append(
+                        f"        memcpy({_mangle(index, gname)}, snap{index}_{gname}, {gsize});"
+                    )
+                call = f"{entry.symbol}({', '.join(call_args)})"
+                if ct.is_void(return_type):
+                    lines.append(f"        {call};")
+                elif isinstance(return_type, ct.FloatType):
+                    lines.append(f'        printf("RETF %.17g\\n", {call});')
+                else:
+                    lines.append(f'        printf("RET %lld\\n", {call});')
+                for j, buf in enumerate(buffers):
+                    if buf is not None:
+                        lines.append(
+                            f'        dump("ARG{j}", in{index}_{input_index}_{j}, {len(buf.data)});'
+                        )
+                for gname, gsize in entry.globals:
+                    lines.append(
+                        f'        dump("GLB:{gname}", {_mangle(index, gname)}, {gsize});'
+                    )
+                lines.append('        printf("DONE %ld\\n", pair); fflush(stdout);')
+                lines.append("    }")
+        lines.append("    return 0;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # -- execution -----------------------------------------------------------
+
+    #: Wall-clock allowance per (case, input) pair on top of ``run_timeout``.
+    #: A healthy pair runs in microseconds; this exists so one invocation
+    #: covering hundreds of pairs (or slow qemu-emulated legs) is not held
+    #: to the single-pair budget the per-case path uses.
+    PER_PAIR_ALLOWANCE = 0.1
+
+    def _run_from(self, start: int) -> Tuple[Optional[int], str, Optional[int]]:
+        """One harness invocation: (in-flight pair, stdout, returncode).
+
+        ``returncode`` is None when the invocation timed out.  The timeout
+        scales with the number of pairs the invocation still has to run:
+        ``run_timeout`` bounds any single runaway pair (matching the
+        sequential path's per-vector budget) and the per-pair allowance
+        funds the legitimate aggregate runtime of the rest of the batch.
+        """
+        remaining = len(self._pairs) - start
+        try:
+            proc = subprocess.run(
+                self._exec_prefix + [str(self.binary), str(start)],
+                capture_output=True,
+                text=True,
+                timeout=self.run_timeout + self.PER_PAIR_ALLOWANCE * remaining,
+            )
+            stdout, returncode = proc.stdout, proc.returncode
+        except subprocess.TimeoutExpired as exc:
+            stdout = exc.stdout or ""
+            if isinstance(stdout, bytes):
+                stdout = stdout.decode("utf-8", "replace")
+            returncode = None
+        inflight: Optional[int] = None
+        record: List[str] = []
+        for line in stdout.splitlines():
+            tag, _, payload = line.partition(" ")
+            if tag == "PAIR":
+                inflight = int(payload)
+                record = []
+            elif tag == "DONE":
+                flat = int(payload)
+                self._decode_pair(flat, record)
+                inflight = None
+            else:
+                record.append(line)
+        return inflight, stdout, returncode
+
+    def _execute(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+        if self._outcomes is not None:
+            return
+        self._outcomes = {}
+        start = 0
+        total = len(self._pairs)
+        while start < total:
+            inflight, _, returncode = self._run_from(start)
+            if returncode == 0 and inflight is None:
+                break
+            if inflight is None:
+                # Died outside any case: nothing to attribute the failure to.
+                self._outcomes = None
+                self._failure = BatchExecutionError(
+                    f"batch binary failed with status {returncode!r} "
+                    f"outside any case (started at pair {start})"
+                )
+                raise self._failure
+            if returncode is None:
+                self._outcomes[self._pairs[inflight]] = ("limit", "execution timeout")
+            else:
+                self._outcomes[self._pairs[inflight]] = (
+                    "trap",
+                    f"exit status {returncode}",
+                )
+            start = inflight + 1
+
+    def _decode_pair(self, flat: int, record: List[str]) -> None:
+        case_index, input_index = self._pairs[flat]
+        entry = self.entries[case_index]
+        return_type = entry.context.return_type()
+        return_value: Any = None
+        arg_values: List[Any] = list(entry.case.inputs[input_index])
+        global_values: Dict[str, Any] = {}
+        for line in record:
+            tag, _, payload = line.partition(" ")
+            if tag == "RET":
+                raw = int(payload)
+                if isinstance(return_type, ct.IntType):
+                    raw = return_type.wrap(raw)
+                return_value = raw
+            elif tag == "RETF":
+                return_value = float(payload)
+            elif tag.startswith("ARG"):
+                j = int(tag[3:])
+                buf = entry.buffers[input_index][j]
+                data = b"" if payload == "-" else bytes.fromhex(payload)
+                if buf is not None:
+                    arg_values[j] = _decode_buffer(data, buf, entry.context.resolve)
+            elif tag.startswith("GLB:"):
+                gname = tag[4:]
+                data = b"" if payload == "-" else bytes.fromhex(payload)
+                global_values[gname] = _decode_global(
+                    data, entry.context.global_type(gname)
+                )
+        assert self._outcomes is not None
+        self._outcomes[(case_index, input_index)] = (
+            "ok",
+            NativeResult(return_value, arg_values, global_values),
+        )
+
+    def outcome(self, case_index: int, input_index: int) -> Tuple[str, Any]:
+        """("ok", NativeResult) | ("trap", detail) | ("limit", detail)."""
+        self._execute()
+        assert self._outcomes is not None
+        return self._outcomes[(case_index, input_index)]
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Structural equality with float tolerance (re-exported convenience)."""
+    from repro.testing.oracle import values_equal as impl
+
+    return impl(left, right)
+
+
+__all__ = [
+    "BatchCase",
+    "BatchExecutionError",
+    "NativeBatch",
+    "NativeFunction",
+    "NativeResult",
+    "have_arm_toolchain",
+    "have_native_toolchain",
+    "values_equal",
+]

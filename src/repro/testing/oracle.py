@@ -9,7 +9,7 @@ independent substrates and the first observable divergence is reported:
                  including the IR constant folder;
 * ``x86-O0`` / ``x86-O3`` — the compiled assembly assembled with the system
                  GNU toolchain and executed natively on the host via
-                 ``tests/native_runner.py`` (skipped when no toolchain);
+                 :mod:`repro.testing.native` (skipped when no toolchain);
 * ``arm-O0`` / ``arm-O3`` — optionally, the AArch64 output under
                  ``qemu-aarch64`` with a cross toolchain.
 
@@ -17,20 +17,30 @@ Observable state is the paper's IO-equivalence notion: return value,
 final contents of pointer arguments, and final global values.  A runtime
 trap (division by zero, step-budget exhaustion, SIGFPE) is itself an
 observation: every leg must trap for the comparison to pass.
+
+Each case's front half (parse → typecheck → lower) runs **once** and is
+shared by every leg and every input vector (:class:`CaseContext`).
+:meth:`Oracle.check_batch` goes further and executes the native legs of a
+whole batch of cases through :class:`repro.testing.native.NativeBatch` —
+one toolchain invocation and one subprocess per leg instead of per case —
+which is where the fuzz pipeline's throughput comes from.  Verdicts are
+identical between :meth:`check_case` and :meth:`check_batch` by
+construction: both feed the same per-(case, input) observations through
+the same comparison.
 """
 
 from __future__ import annotations
 
 import math
 import subprocess
-import sys
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.lang.interpreter import CInterpreterError, Interpreter, RuntimeLimitExceeded
-from repro.lang.parser import parse_program
+from repro.lang.interpreter import CInterpreterError, RuntimeLimitExceeded
+from repro.testing import native
+from repro.testing.frontend import CaseContext
 from repro.testing.irexec import IRExecutor
 
 
@@ -47,20 +57,6 @@ def values_equal(left: Any, right: Any) -> bool:
             values_equal(left[k], right[k]) for k in left
         )
     return left == right
-
-
-def _native_runner():
-    """Import ``tests/native_runner.py`` (adding the repo's tests/ dir if
-    needed — the testing package lives in src/, the native harness with the
-    test suite)."""
-    try:
-        import native_runner  # type: ignore[import-not-found]
-    except ImportError:
-        tests_dir = Path(__file__).resolve().parents[3] / "tests"
-        if tests_dir.is_dir() and str(tests_dir) not in sys.path:
-            sys.path.append(str(tests_dir))
-        import native_runner  # type: ignore[import-not-found]
-    return native_runner
 
 
 @dataclass
@@ -114,6 +110,15 @@ class OracleError(Exception):
     """Raised when a leg cannot be built at all (infrastructure failure)."""
 
 
+#: One case handed to :meth:`Oracle.check_batch`: anything exposing
+#: ``source``, ``name`` and ``inputs`` (e.g. the generator's GeneratedCase).
+CaseLike = Any
+
+#: What check_batch records per case: clean (None), a Divergence, or the
+#: exception a leg raised while building.
+CaseVerdict = Union[None, Divergence, Exception]
+
+
 class Oracle:
     """Differential harness comparing the available substrates.
 
@@ -139,28 +144,18 @@ class Oracle:
             self._tmp = tempfile.TemporaryDirectory(prefix="minic-fuzz-")
             workdir = Path(self._tmp.name)
         self.workdir = Path(workdir)
+        self._batch_counter = 0
         self.native_backends: List[str] = []
-        self._runner = None
-        wanted = [b for b in backends if b]
-        if wanted:
-            try:
-                runner = _native_runner()
-            except ImportError:
-                runner = None
-                if require_native:
-                    raise OracleError("tests/native_runner.py is not importable")
-            if runner is not None:
-                self._runner = runner
-                for backend in wanted:
-                    available = (
-                        runner.have_native_toolchain()
-                        if backend == "x86"
-                        else runner.have_arm_toolchain()
-                    )
-                    if available:
-                        self.native_backends.append(backend)
-                    elif require_native:
-                        raise OracleError(f"no toolchain for the {backend!r} backend")
+        for backend in [b for b in backends if b]:
+            available = (
+                native.have_native_toolchain()
+                if backend == "x86"
+                else native.have_arm_toolchain()
+            )
+            if available:
+                self.native_backends.append(backend)
+            elif require_native:
+                raise OracleError(f"no toolchain for the {backend!r} backend")
 
     def legs(self) -> List[str]:
         names = ["interp"]
@@ -172,9 +167,9 @@ class Oracle:
 
     # -- leg execution --------------------------------------------------------
 
-    def _run_interp(self, program, name: str, args: Tuple) -> LegOutcome:
+    def _run_interp(self, context: CaseContext, args: Tuple) -> LegOutcome:
         try:
-            result = Interpreter(program).run_function(name, args)
+            result = context.interpreter().run_function(context.name, args)
         except RuntimeLimitExceeded as exc:
             return LegOutcome("interp", "limit", str(exc))
         except CInterpreterError as exc:
@@ -183,11 +178,14 @@ class Oracle:
             "interp", "ok", "", result.return_value, result.arg_values, result.globals
         )
 
-    def _run_ir(self, program, name: str, args: Tuple, lowering_cache: Dict) -> LegOutcome:
+    def _run_ir(self, context: CaseContext, args: Tuple) -> LegOutcome:
         try:
             result = IRExecutor(
-                program, opt_level="O3", lowering_cache=lowering_cache
-            ).run_function(name, args)
+                context.program,
+                opt_level="O3",
+                lowering_cache=context.ir_cache(),
+                checker=context.checker,
+            ).run_function(context.name, args)
         except RuntimeLimitExceeded as exc:
             return LegOutcome("ir-O3", "limit", str(exc))
         except CInterpreterError as exc:
@@ -196,21 +194,23 @@ class Oracle:
             "ir-O3", "ok", "", result.return_value, result.arg_values, result.globals
         )
 
-    def _build_native(self, source: str, name: str, inputs: List[Tuple], backend: str, opt: str):
-        assert self._runner is not None
-        return self._runner.NativeFunction(
-            source,
-            name,
+    def _build_native(
+        self, context: CaseContext, inputs: List[Tuple], backend: str, opt: str
+    ) -> native.NativeFunction:
+        return native.NativeFunction(
+            context.source,
+            context.name,
             inputs,
             opt,
             self.workdir,
             isa=backend,
             asm_transform=self.asm_transform,
+            context=context,
         )
 
-    def _run_native(self, native, leg: str, index: int) -> LegOutcome:
+    def _run_native(self, native_fn, leg: str, index: int) -> LegOutcome:
         try:
-            result = native.run(index)
+            result = native_fn.run(index)
         except subprocess.CalledProcessError as exc:
             return LegOutcome(leg, "trap", f"exit status {exc.returncode}")
         except subprocess.TimeoutExpired:
@@ -218,6 +218,15 @@ class Oracle:
         return LegOutcome(
             leg, "ok", "", result.return_value, result.arg_values, result.globals
         )
+
+    @staticmethod
+    def _batch_outcome_to_leg(outcome: Tuple[str, Any], leg: str) -> LegOutcome:
+        status, payload = outcome
+        if status == "ok":
+            return LegOutcome(
+                leg, "ok", "", payload.return_value, payload.arg_values, payload.globals
+            )
+        return LegOutcome(leg, status, payload)
 
     # -- comparison -----------------------------------------------------------
 
@@ -247,6 +256,36 @@ class Oracle:
                 return "globals"
         return None
 
+    def _first_divergence(
+        self,
+        context: CaseContext,
+        inputs: List[Tuple],
+        native_outcomes: Callable[[int], List[LegOutcome]],
+    ) -> Optional[Divergence]:
+        """Run the reference legs per input, splice in the native outcomes,
+        and report the first divergence — shared by the per-case and the
+        batched paths so their verdicts cannot drift."""
+        for index in range(len(inputs)):
+            outcomes = [self._run_interp(context, inputs[index])]
+            if self.include_ir_leg:
+                outcomes.append(self._run_ir(context, inputs[index]))
+            outcomes.extend(native_outcomes(index))
+            reference = outcomes[0]
+            for other in outcomes[1:]:
+                mismatch = self._compare(reference, other)
+                if mismatch is not None:
+                    return Divergence(
+                        context.source,
+                        context.name,
+                        inputs,
+                        index,
+                        reference.leg,
+                        other.leg,
+                        mismatch,
+                        outcomes,
+                    )
+        return None
+
     def check_case(
         self, source: str, name: str, inputs: List[Tuple]
     ) -> Optional[Divergence]:
@@ -257,18 +296,15 @@ class Oracle:
         whether that is interesting.
         """
         inputs = list(inputs)
-        # Parse once per case; interpreter/IR executors are rebuilt per
-        # input (each needs fresh global state) but share the AST and one
-        # lowering cache, so the middle end runs once per case, not per
-        # input vector.
-        program = parse_program(source)
-        lowering_cache: Dict = {}
-        natives: Dict[str, Any] = {}
+        # The front half (parse, typecheck, lowering) runs once per case and
+        # is shared by every leg and every input vector.
+        context = CaseContext(source, name)
+        natives: Dict[str, native.NativeFunction] = {}
         for backend in self.native_backends:
             for opt in ("O0", "O3"):
                 try:
                     natives[f"{backend}-{opt}"] = self._build_native(
-                        source, name, inputs, backend, opt
+                        context, inputs, backend, opt
                     )
                 except subprocess.CalledProcessError as exc:
                     stderr = (exc.stderr or b"").decode("utf-8", "replace")[-2000:]
@@ -276,24 +312,134 @@ class Oracle:
                         f"native build failed for {backend}-{opt}: {stderr}"
                     ) from exc
 
-        for index in range(len(inputs)):
-            outcomes = [self._run_interp(program, name, inputs[index])]
-            if self.include_ir_leg:
-                outcomes.append(self._run_ir(program, name, inputs[index], lowering_cache))
-            for leg, native in natives.items():
-                outcomes.append(self._run_native(native, leg, index))
-            reference = outcomes[0]
-            for other in outcomes[1:]:
-                mismatch = self._compare(reference, other)
-                if mismatch is not None:
-                    return Divergence(
-                        source,
-                        name,
-                        inputs,
-                        index,
-                        reference.leg,
-                        other.leg,
-                        mismatch,
-                        outcomes,
-                    )
-        return None
+        def native_outcomes(index: int) -> List[LegOutcome]:
+            return [
+                self._run_native(native_fn, leg, index)
+                for leg, native_fn in natives.items()
+            ]
+
+        return self._first_divergence(context, inputs, native_outcomes)
+
+    # -- batched evaluation ----------------------------------------------------
+
+    def check_batch(self, cases: Sequence[CaseLike]) -> List[CaseVerdict]:
+        """Evaluate many cases with one native build/run per leg.
+
+        Returns one verdict per case, in order: ``None`` (all legs agree),
+        a :class:`Divergence`, or the exception raised while building one of
+        the case's legs.  Verdicts are identical to running
+        :meth:`check_case` on each case individually; if the combined batch
+        binary cannot be built or dies outside any case, the batch falls
+        back to exactly that per-case path.
+        """
+        contexts: List[Optional[CaseContext]] = []
+        verdicts: List[CaseVerdict] = []
+        for case in cases:
+            try:
+                context = CaseContext(
+                    case.source,
+                    case.name,
+                    program=getattr(case, "program", None),
+                    checker=getattr(case, "checker", None),
+                )
+            except Exception as exc:  # unparseable case: per-case verdict
+                context = None
+                verdicts.append(exc)
+            else:
+                verdicts.append(None)
+            contexts.append(context)
+
+        # Compile every native leg of every case up front; a case whose
+        # assembly cannot be built gets its exception as the verdict and
+        # drops out of the batch (matching check_case, where the same
+        # exception propagates to the caller per case).
+        assemblies: Dict[Tuple[int, str, str], str] = {}
+        for index, context in enumerate(contexts):
+            if context is None or isinstance(verdicts[index], Exception):
+                continue
+            try:
+                for backend in self.native_backends:
+                    for opt in ("O0", "O3"):
+                        assemblies[(index, backend, opt)] = context.assembly(backend, opt)
+            except Exception as exc:
+                verdicts[index] = exc
+
+        active = [
+            index
+            for index in range(len(contexts))
+            if contexts[index] is not None and not isinstance(verdicts[index], Exception)
+        ]
+
+        # One batch binary per backend holds BOTH opt levels (entries are
+        # interleaved per case), halving the build/run subprocesses again.
+        batches: Dict[str, Tuple[native.NativeBatch, Dict[Tuple[int, str], int]]] = {}
+        try:
+            for backend in self.native_backends:
+                batch_cases: List[native.BatchCase] = []
+                position: Dict[Tuple[int, str], int] = {}
+                for index in active:
+                    for opt in ("O0", "O3"):
+                        position[(index, opt)] = len(batch_cases)
+                        batch_cases.append(
+                            native.BatchCase(
+                                source=cases[index].source,
+                                name=cases[index].name,
+                                inputs=list(cases[index].inputs),
+                                context=contexts[index],
+                                assembly=assemblies[(index, backend, opt)],
+                            )
+                        )
+                self._batch_counter += 1
+                batch = native.NativeBatch(
+                    batch_cases,
+                    "mix",
+                    self.workdir,
+                    isa=backend,
+                    asm_transform=self.asm_transform,
+                    tag=f"batch{self._batch_counter}",
+                )
+                batches[backend] = (batch, position)
+        except (subprocess.CalledProcessError, native.BatchExecutionError, OSError):
+            # Whole-batch infrastructure failure: fall back to the per-case
+            # path, which attributes build problems to the right case.
+            return self._check_batch_fallback(cases, verdicts)
+
+        for index in active:
+            context = contexts[index]
+            assert context is not None
+            inputs = list(cases[index].inputs)
+
+            def native_outcomes(input_index: int, index=index) -> List[LegOutcome]:
+                outcomes = []
+                for backend in self.native_backends:
+                    batch, position = batches[backend]
+                    for opt in ("O0", "O3"):
+                        outcomes.append(
+                            self._batch_outcome_to_leg(
+                                batch.outcome(position[(index, opt)], input_index),
+                                f"{backend}-{opt}",
+                            )
+                        )
+                return outcomes
+
+            try:
+                verdicts[index] = self._first_divergence(context, inputs, native_outcomes)
+            except native.BatchExecutionError:
+                verdicts[index] = self.check_case(
+                    cases[index].source, cases[index].name, inputs
+                )
+        return verdicts
+
+    def _check_batch_fallback(
+        self, cases: Sequence[CaseLike], verdicts: List[CaseVerdict]
+    ) -> List[CaseVerdict]:
+        for index, case in enumerate(cases):
+            if isinstance(verdicts[index], Exception):
+                continue
+            try:
+                verdicts[index] = self.check_case(
+                    case.source, case.name, list(case.inputs)
+                )
+            except Exception as exc:
+                verdicts[index] = exc
+        return verdicts

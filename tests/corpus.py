@@ -647,4 +647,32 @@ unsigned long neg_unsigned(unsigned int u) {
         "neg_unsigned",
         [(1,), (0,), (4294967295,)],
     ),
+    (
+        # Local arrays must get full-size stack slots: with width-shrunk
+        # scalar slots (PR 4), decaying the declared type here would hand
+        # each array a pointer-sized slot and the element stores would
+        # overrun into the neighbouring slot (code-review find).
+        """
+int local_array_slots(int n) {
+    int a[4];
+    long b[3];
+    for (int i = 0; i < 4; i++) {
+        a[i] = n + i;
+    }
+    for (int i = 0; i < 3; i++) {
+        b[i] = 2 * i + a[i];
+    }
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        s += a[i];
+    }
+    for (int i = 0; i < 3; i++) {
+        s += (int) b[i];
+    }
+    return s;
+}
+""",
+        "local_array_slots",
+        [(10,), (0,), (-5,)],
+    ),
 ]

@@ -7,38 +7,38 @@
 add2:
 	stp	x29, x30, [sp, #-16]!
 	mov	x29, sp
-	sub	sp, sp, #64
-	str	w0, [sp, #16]
-	str	w1, [sp, #20]
+	sub	sp, sp, #48
+	str	w0, [sp, #8]
+	str	w1, [sp, #12]
 	mov	x9, sp
+	str	x9, [sp, #16]
+	ldrsw	x9, [sp, #8]
+	ldr	x10, [sp, #16]
+	str	w9, [x10]
+	add	x9, sp, #4
 	str	x9, [sp, #24]
-	ldrsw	x9, [sp, #16]
+	ldrsw	x9, [sp, #12]
 	ldr	x10, [sp, #24]
 	str	w9, [x10]
-	add	x9, sp, #8
-	str	x9, [sp, #32]
-	ldrsw	x9, [sp, #20]
-	ldr	x10, [sp, #32]
-	str	w9, [x10]
+	ldr	x10, [sp, #16]
+	ldrsw	x9, [x10]
+	str	w9, [sp, #32]
 	ldr	x10, [sp, #24]
 	ldrsw	x9, [x10]
-	str	w9, [sp, #40]
-	ldr	x10, [sp, #32]
-	ldrsw	x9, [x10]
-	str	w9, [sp, #44]
-	ldrsw	x9, [sp, #40]
-	ldrsw	x10, [sp, #44]
+	str	w9, [sp, #36]
+	ldrsw	x9, [sp, #32]
+	ldrsw	x10, [sp, #36]
 	add	w9, w9, w10
 	sxtw	x9, w9
-	str	w9, [sp, #48]
-	ldrsw	x9, [sp, #48]
+	str	w9, [sp, #40]
+	ldrsw	x9, [sp, #40]
 	mov	x10, #2
 	add	w9, w9, w10
 	sxtw	x9, w9
-	str	w9, [sp, #52]
-	ldrsw	x0, [sp, #52]
+	str	w9, [sp, #44]
+	ldrsw	x0, [sp, #44]
 .Lret_add2:
-	add	sp, sp, #64
+	add	sp, sp, #48
 	ldp	x29, x30, [sp], #16
 	ret
 	.size	add2, .-add2

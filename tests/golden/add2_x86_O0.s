@@ -5,36 +5,36 @@
 add2:
 	pushq	%rbp
 	movq	%rsp, %rbp
-	subq	$64, %rsp
-	movl	%edi, -20(%rbp)
-	movl	%esi, -24(%rbp)
+	subq	$48, %rsp
+	movl	%edi, -12(%rbp)
+	movl	%esi, -16(%rbp)
+	leaq	-4(%rbp), %r10
+	movq	%r10, -24(%rbp)
+	movslq	-12(%rbp), %r10
+	movq	-24(%rbp), %r11
+	movl	%r10d, (%r11)
 	leaq	-8(%rbp), %r10
 	movq	%r10, -32(%rbp)
-	movslq	-20(%rbp), %r10
+	movslq	-16(%rbp), %r10
 	movq	-32(%rbp), %r11
 	movl	%r10d, (%r11)
-	leaq	-16(%rbp), %r10
-	movq	%r10, -40(%rbp)
-	movslq	-24(%rbp), %r10
-	movq	-40(%rbp), %r11
-	movl	%r10d, (%r11)
+	movq	-24(%rbp), %r11
+	movslq	(%r11), %r10
+	movl	%r10d, -36(%rbp)
 	movq	-32(%rbp), %r11
 	movslq	(%r11), %r10
-	movl	%r10d, -44(%rbp)
-	movq	-40(%rbp), %r11
-	movslq	(%r11), %r10
-	movl	%r10d, -48(%rbp)
-	movslq	-44(%rbp), %r10
-	movslq	-48(%rbp), %r11
+	movl	%r10d, -40(%rbp)
+	movslq	-36(%rbp), %r10
+	movslq	-40(%rbp), %r11
 	addl	%r11d, %r10d
 	movslq	%r10d, %r10
-	movl	%r10d, -52(%rbp)
-	movslq	-52(%rbp), %r10
+	movl	%r10d, -44(%rbp)
+	movslq	-44(%rbp), %r10
 	movq	$2, %r11
 	addl	%r11d, %r10d
 	movslq	%r10d, %r10
-	movl	%r10d, -56(%rbp)
-	movslq	-56(%rbp), %rax
+	movl	%r10d, -48(%rbp)
+	movslq	-48(%rbp), %rax
 .Lret_add2:
 	leave
 	ret

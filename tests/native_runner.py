@@ -1,391 +1,26 @@
-"""Build-and-execute harness for compiled x86-64 assembly.
+"""Thin re-export shim.
 
-This is the "run the ground truth for real" half of the paper's IO-equivalence
-check: a corpus function is compiled to x86-64 assembly, assembled with the
-system GNU toolchain, linked against a generated C driver and executed on the
-host.  The observable state (return value, pointer-argument contents, global
-contents) is then compared against :class:`repro.lang.interpreter.Interpreter`
-running the same source on the same inputs.
-
-Argument buffers use the interpreter's packed memory layout (structs have no
-padding), so they are encoded/decoded here as raw bytes rather than declared
-as C aggregates.  Scalar parameters are passed through ``long long``/``double``
-prototypes: the compiled code expects integer arguments sign- or zero-extended
-to the full 64-bit register, which is exactly what a ``long long`` prototype
-makes the C caller do.
+The native build-and-execute harness now lives in
+:mod:`repro.testing.native` (so the package no longer imports from the
+test tree); this module keeps the historical ``tests/native_runner.py``
+import path working for the test suite and any external scripts.
 """
 
-from __future__ import annotations
+from repro.testing.native import (  # noqa: F401
+    BatchCase,
+    BatchExecutionError,
+    NativeBatch,
+    NativeFunction,
+    NativeResult,
+    have_arm_toolchain,
+    have_native_toolchain,
+    values_equal,
+)
 
-import platform
-import re
-import shutil
-import struct
-import subprocess
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
-
-from repro.compiler import compile_function
-from repro.lang import ctypes as ct
-from repro.lang.interpreter import Interpreter
-from repro.lang.parser import parse_program
-from repro.testing.oracle import values_equal
-
-
-def have_native_toolchain() -> bool:
-    """True when the host can assemble and run x86-64 code."""
-    return (
-        platform.machine() in ("x86_64", "AMD64")
-        and shutil.which("as") is not None
-        and shutil.which("gcc") is not None
-    )
-
-
-def _arm_cross_compiler() -> Optional[str]:
-    for cc in ("aarch64-linux-gnu-gcc", "aarch64-unknown-linux-gnu-gcc"):
-        if shutil.which(cc):
-            return cc
-    return None
-
-
-def _arm_emulator() -> Optional[List[str]]:
-    if platform.machine() == "aarch64":
-        return []  # run directly on the host
-    for emulator in ("qemu-aarch64", "qemu-aarch64-static"):
-        if shutil.which(emulator):
-            return [emulator]
-    return None
-
-
-def have_arm_toolchain() -> bool:
-    """True when AArch64 output can be assembled and executed.
-
-    Either the host itself is aarch64 with a GNU toolchain, or a cross
-    compiler plus ``qemu-aarch64`` user-mode emulation is installed.
-    """
-    if platform.machine() == "aarch64":
-        return shutil.which("gcc") is not None
-    return _arm_cross_compiler() is not None and _arm_emulator() is not None
-
-
-# ---------------------------------------------------------------------------
-# Packed-byte encoding of Python argument values (mirrors the interpreter's
-# marshalling in Interpreter._marshal_argument / read_typed / write_typed).
-# ---------------------------------------------------------------------------
-
-
-def _encode_scalar(value: Any, t: ct.CType) -> bytes:
-    if isinstance(t, ct.FloatType):
-        return struct.pack("<f" if t.sizeof() == 4 else "<d", float(value))
-    size = t.sizeof()
-    return (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-
-
-def _decode_scalar(data: bytes, t: ct.CType) -> Any:
-    if isinstance(t, ct.FloatType):
-        return struct.unpack("<f" if t.sizeof() == 4 else "<d", data)[0]
-    signed = not (isinstance(t, ct.IntType) and t.unsigned)
-    if isinstance(t, (ct.PointerType, ct.ArrayType)):
-        signed = False
-    return int.from_bytes(data, "little", signed=signed)
-
-
-@dataclass
-class _Buffer:
-    """A pointer argument's backing bytes and how to read it back."""
-
-    data: bytearray
-    elem: Optional[ct.CType] = None  # list arguments
-    count: int = 0
-    struct_type: Optional[ct.StructType] = None  # dict arguments
-    as_string: bool = False
-
-
-def _encode_argument(value: Any, ptype: ct.CType, resolve) -> Optional[_Buffer]:
-    """Encode a Python pointer-argument into packed bytes (None for scalars)."""
-    if isinstance(value, str) and isinstance(ptype, ct.PointerType):
-        data = bytearray(len(value) + 16)
-        raw = value.encode("latin-1", errors="replace")
-        data[: len(raw)] = raw
-        return _Buffer(data, elem=ct.CHAR, count=len(value) + 1, as_string=True)
-    if isinstance(value, (list, tuple)) and isinstance(ptype, ct.PointerType):
-        elem = resolve(ptype.pointee)
-        if isinstance(elem, ct.VoidType):
-            elem = ct.CHAR
-        data = bytearray(max(1, len(value)) * elem.sizeof() + 16)
-        for index, item in enumerate(value):
-            encoded = _encode_scalar(item, elem)
-            data[index * elem.sizeof() : index * elem.sizeof() + len(encoded)] = encoded
-        return _Buffer(data, elem=elem, count=len(value))
-    if isinstance(value, dict) and isinstance(ptype, ct.PointerType):
-        struct_type = resolve(ptype.pointee)
-        data = bytearray(max(struct_type.sizeof(), 8) + 8)
-        for fname, fvalue in value.items():
-            if struct_type.has_field(fname):
-                ftype = resolve(struct_type.field_type(fname))
-                encoded = _encode_scalar(fvalue, ftype)
-                offset = struct_type.field_offset(fname)
-                data[offset : offset + len(encoded)] = encoded
-        return _Buffer(data, struct_type=struct_type)
-    return None
-
-
-def _decode_buffer(data: bytes, buf: _Buffer, resolve) -> Any:
-    if buf.struct_type is not None:
-        out: Dict[str, Any] = {}
-        for fld in buf.struct_type.fields:
-            ftype = resolve(fld.type)
-            offset = buf.struct_type.field_offset(fld.name)
-            out[fld.name] = _decode_scalar(data[offset : offset + ftype.sizeof()], ftype)
-        return out
-    elem = buf.elem or ct.CHAR
-    values = [
-        _decode_scalar(data[i * elem.sizeof() : (i + 1) * elem.sizeof()], elem)
-        for i in range(buf.count)
-    ]
-    if buf.as_string:
-        chars: List[str] = []
-        for v in values:
-            if v == 0:
-                break
-            chars.append(chr(int(v) & 0xFF))
-        return "".join(chars)
-    return values
-
-
-# ---------------------------------------------------------------------------
-# Harness generation
-# ---------------------------------------------------------------------------
-
-_DUMP_HELPER = """
-static void dump(const char *tag, const unsigned char *p, long n) {
-    printf("%s ", tag);
-    if (n == 0) { printf("-\\n"); return; }
-    for (long i = 0; i < n; i++) printf("%02x", p[i]);
-    printf("\\n");
-}
-"""
-
-
-def _scalar_literal(value: Any, t: ct.CType) -> str:
-    if isinstance(t, ct.FloatType):
-        bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
-        return f"bits_to_double(0x{bits:016x}ULL)"
-    wrapped = t.wrap(int(value)) if isinstance(t, ct.IntType) else int(value)
-    return f"(long long)0x{wrapped & 0xFFFFFFFFFFFFFFFF:016x}ULL"
-
-
-def _assembly_globals(assembly: str) -> List[Tuple[str, int]]:
-    """(name, size) for every global data symbol the assembly defines.
-
-    Covers both zero-filled ``.comm`` symbols and initialised ``.data``
-    objects (recognised by their ``.size name, N`` directive; function
-    symbols use ``.size name, .-name`` and so never match).
-    """
-    found = [
-        (name, int(size))
-        for name, size in re.findall(r"^\t\.comm\t([A-Za-z_]\w*),(\d+)", assembly, re.M)
-    ]
-    found.extend(
-        (name, int(size))
-        for name, size in re.findall(
-            r"^\t\.size\t([A-Za-z_]\w*), (\d+)$", assembly, re.M
-        )
-    )
-    return found
-
-
-@dataclass
-class NativeResult:
-    """Observable state of one native execution."""
-
-    return_value: Any
-    arg_values: List[Any]
-    globals: Dict[str, Any]
-
-
-class NativeFunction:
-    """A corpus function assembled to a host executable.
-
-    ``isa`` selects the backend: ``"x86"`` builds with the host toolchain,
-    ``"arm"`` builds a static binary with the AArch64 cross compiler and
-    executes it under ``qemu-aarch64`` (or directly on aarch64 hosts).
-    ``asm_transform``, when given, rewrites the assembly text before it is
-    assembled — the fuzzer uses this to inject deliberate miscompiles.
-    """
-
-    def __init__(
-        self,
-        source: str,
-        name: str,
-        inputs: Sequence[Tuple[Any, ...]],
-        opt_level: str,
-        workdir: Path,
-        isa: str = "x86",
-        asm_transform: Optional[Callable[[str], str]] = None,
-        run_timeout: float = 10.0,
-    ) -> None:
-        self.source = source
-        self.name = name
-        self.inputs = list(inputs)
-        self.opt_level = opt_level
-        self.isa = isa
-        self.run_timeout = run_timeout
-        program = parse_program(source)
-        self._interp = Interpreter(program)  # used only for type resolution
-        self._resolve = self._interp._resolve_type
-        func = program.function(name)
-        assert func is not None, f"no function {name!r}"
-        self.param_types = [ct.decay(self._resolve(p.type)) for p in func.params]
-        self.return_type = self._resolve(func.return_type)
-        compiled = compile_function(source, name=name, isa=isa, opt_level=opt_level)
-        assembly = compiled.assembly
-        if asm_transform is not None:
-            assembly = asm_transform(assembly)
-        self.globals = _assembly_globals(assembly)
-        self._buffers: List[List[Optional[_Buffer]]] = []
-        asm_path = workdir / f"{name}_{isa}_{opt_level}.s"
-        asm_path.write_text(assembly)
-        harness_path = workdir / f"{name}_{isa}_{opt_level}_main.c"
-        harness_path.write_text(self._generate_harness())
-        self.binary = workdir / f"{name}_{isa}_{opt_level}"
-        if isa == "arm" and platform.machine() != "aarch64":
-            cc = _arm_cross_compiler()
-            assert cc is not None, "no AArch64 cross compiler available"
-            build = [cc, "-static", "-o", str(self.binary), str(harness_path), str(asm_path)]
-            self._exec_prefix = _arm_emulator() or []
-        else:
-            build = ["gcc", "-no-pie", "-o", str(self.binary), str(harness_path), str(asm_path)]
-            self._exec_prefix = []
-        subprocess.run(build, check=True, capture_output=True, timeout=120)
-
-    # -- C generation --------------------------------------------------------
-
-    def _prototype(self) -> str:
-        args = ", ".join(
-            "double" if isinstance(t, ct.FloatType) else "long long"
-            for t in self.param_types
-        ) or "void"
-        if ct.is_void(self.return_type):
-            ret = "void"
-        elif isinstance(self.return_type, ct.FloatType):
-            ret = "double"
-        else:
-            ret = "long long"
-        return f"extern {ret} {self.name}({args});"
-
-    def _generate_harness(self) -> str:
-        lines = [
-            "#include <stdio.h>",
-            "#include <stdlib.h>",
-            "",
-            self._prototype(),
-        ]
-        for gname, _ in self.globals:
-            lines.append(f"extern unsigned char {gname}[];")
-        lines.append(_DUMP_HELPER)
-        lines.append("static double bits_to_double(unsigned long long u) {")
-        lines.append("    union { unsigned long long u; double d; } cvt; cvt.u = u; return cvt.d;")
-        lines.append("}")
-        body: List[str] = []
-        for index, args in enumerate(self.inputs):
-            buffers: List[Optional[_Buffer]] = []
-            call_args: List[str] = []
-            decls: List[str] = []
-            for j, (value, ptype) in enumerate(zip(args, self.param_types)):
-                buf = _encode_argument(value, ptype, self._resolve)
-                buffers.append(buf)
-                if buf is None:
-                    call_args.append(_scalar_literal(value, ptype))
-                else:
-                    cname = f"in{index}_{j}"
-                    data = ", ".join(str(b) for b in buf.data)
-                    decls.append(f"static unsigned char {cname}[] = {{ {data} }};")
-                    call_args.append(f"(long long){cname}")
-            self._buffers.append(buffers)
-            body.append(f"    if (idx == {index}) {{")
-            for decl in decls:
-                body.append(f"        {decl}")
-            call = f"{self.name}({', '.join(call_args)})"
-            if ct.is_void(self.return_type):
-                body.append(f"        {call};")
-            elif isinstance(self.return_type, ct.FloatType):
-                body.append(f"        printf(\"RETF %.17g\\n\", {call});")
-            else:
-                body.append(f"        printf(\"RET %lld\\n\", {call});")
-            for j, buf in enumerate(buffers):
-                if buf is not None:
-                    body.append(f"        dump(\"ARG{j}\", in{index}_{j}, {len(buf.data)});")
-            for gname, gsize in self.globals:
-                body.append(f"        dump(\"GLB:{gname}\", {gname}, {gsize});")
-            body.append("    }")
-        lines.append("int main(int argc, char **argv) {")
-        lines.append("    int idx = argc > 1 ? atoi(argv[1]) : 0;")
-        lines.extend(body)
-        lines.append("    return 0;")
-        lines.append("}")
-        return "\n".join(lines) + "\n"
-
-    # -- execution -----------------------------------------------------------
-
-    def run(self, index: int) -> NativeResult:
-        """Execute input set ``index`` natively and decode the output."""
-        # The timeout guards the differential oracle/reducer against
-        # candidate programs that loop forever (the interpreter leg traps on
-        # its step budget; the native binary has no such budget).
-        proc = subprocess.run(
-            self._exec_prefix + [str(self.binary), str(index)],
-            check=True,
-            capture_output=True,
-            text=True,
-            timeout=self.run_timeout,
-        )
-        return_value: Any = None
-        arg_values: List[Any] = list(self.inputs[index])
-        global_values: Dict[str, Any] = {}
-        global_types = {
-            gname: self._interp.global_addrs[gname].type for gname, _ in self.globals
-        }
-        for line in proc.stdout.splitlines():
-            tag, _, payload = line.partition(" ")
-            if tag == "RET":
-                raw = int(payload)
-                if isinstance(self.return_type, ct.IntType):
-                    raw = self.return_type.wrap(raw)
-                return_value = raw
-            elif tag == "RETF":
-                return_value = float(payload)
-            elif tag.startswith("ARG"):
-                j = int(tag[3:])
-                buf = self._buffers[index][j]
-                data = b"" if payload == "-" else bytes.fromhex(payload)
-                if buf is not None:
-                    arg_values[j] = _decode_buffer(data, buf, self._resolve)
-            elif tag.startswith("GLB:"):
-                gname = tag[4:]
-                data = b"" if payload == "-" else bytes.fromhex(payload)
-                gtype = self._resolve(global_types[gname])
-                if isinstance(gtype, ct.ArrayType):
-                    elem = gtype.element
-                    global_values[gname] = [
-                        _decode_scalar(data[i * elem.sizeof() : (i + 1) * elem.sizeof()], elem)
-                        for i in range(gtype.length or 0)
-                    ]
-                else:
-                    global_values[gname] = _decode_scalar(data, gtype)
-        return NativeResult(return_value, arg_values, global_values)
-
-    def expected(self, index: int):
-        """The interpreter's observable state on the same input."""
-        return Interpreter(parse_program(self.source)).run_function(
-            self.name, self.inputs[index]
-        )
-
-
-# Single implementation shared with the differential oracle (re-exported
-# here for the native test modules).
 __all__ = [
+    "BatchCase",
+    "BatchExecutionError",
+    "NativeBatch",
     "NativeFunction",
     "NativeResult",
     "have_arm_toolchain",

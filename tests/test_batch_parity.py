@@ -1,0 +1,181 @@
+"""Batch/parallel parity: the throughput machinery must not change verdicts.
+
+The batched native path (``Oracle.check_batch`` / ``NativeBatch``) and the
+``--jobs N`` worker pool exist purely for speed; this module pins the
+acceptance property that a fixed-seed run through them produces verdicts
+identical to the sequential per-case path — including trap observations,
+and including the exact ``Divergence.describe()`` text when a (deterministic)
+miscompile is injected.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import pytest
+
+from repro.testing.fuzz import FuzzConfig, case_seed, run_campaign
+from repro.testing.generator import generate_case
+from repro.testing.oracle import Oracle
+
+from native_runner import NativeBatch, BatchCase, have_native_toolchain
+
+needs_toolchain = pytest.mark.skipif(
+    not have_native_toolchain(),
+    reason="requires an x86-64 host with GNU as and gcc",
+)
+
+
+@dataclass
+class _Case:
+    source: str
+    name: str
+    inputs: List[Tuple]
+
+
+def _swap_first_addl(assembly: str) -> str:
+    """A *deterministic* injected miscompile (first ``addl`` -> ``subl``).
+
+    Unlike ``strip_cltd`` — whose misbehaviour reads whatever garbage %edx
+    happens to hold, and therefore legitimately differs between a fresh
+    process and a shared batch process — this transform corrupts results
+    deterministically, so even the post-divergence outcome lines must match
+    byte for byte between the batched and sequential paths.
+    """
+    lines = assembly.splitlines()
+    for index, line in enumerate(lines):
+        if line.strip().startswith("addl"):
+            lines[index] = line.replace("addl", "subl", 1)
+            break
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Oracle-level parity (toolchain-free)
+# ---------------------------------------------------------------------------
+
+
+def test_check_batch_matches_check_case_without_native_legs():
+    oracle = Oracle(backends=())
+    cases = [generate_case(case_seed(3, index), max_stmts=8) for index in range(12)]
+    batch_verdicts = oracle.check_batch(cases)
+    for case, batched in zip(cases, batch_verdicts):
+        sequential = oracle.check_case(case.source, case.name, case.inputs)
+        assert (sequential is None) == (batched is None or isinstance(batched, Exception))
+        assert not isinstance(batched, Exception)
+        assert sequential is None and batched is None
+
+
+def test_check_batch_reports_parse_errors_per_case():
+    oracle = Oracle(backends=())
+    good = generate_case(case_seed(3, 0), max_stmts=6)
+    bad = _Case("int f( {", "f", [(1,)])
+    verdicts = oracle.check_batch([good, bad, good])
+    assert verdicts[0] is None and verdicts[2] is None
+    assert isinstance(verdicts[1], Exception)
+
+
+# ---------------------------------------------------------------------------
+# Native batch parity
+# ---------------------------------------------------------------------------
+
+
+@needs_toolchain
+def test_batched_verdicts_identical_to_sequential_fixed_seed():
+    """Clean fixed-seed cases: batch and per-case paths both report None,
+    and a case where every leg traps is equally clean on both."""
+    oracle = Oracle(backends=("x86",))
+    cases = [generate_case(case_seed(5, index), max_stmts=8) for index in range(20)]
+    cases.append(_Case("int f(int a) {\n    return a / (a - a);\n}\n", "f", [(3,), (7,)]))
+    batch_verdicts = oracle.check_batch(cases)
+    for case, batched in zip(cases, batch_verdicts):
+        sequential = oracle.check_case(case.source, case.name, list(case.inputs))
+        assert not isinstance(batched, Exception), batched
+        assert (sequential is None) and (batched is None), (
+            sequential and sequential.describe(),
+            batched and batched.describe(),
+        )
+
+
+@needs_toolchain
+def test_batched_divergences_byte_identical_under_deterministic_miscompile():
+    oracle = Oracle(backends=("x86",), asm_transform=_swap_first_addl)
+    cases = [generate_case(case_seed(0, index), max_stmts=8) for index in range(12)]
+    batch_verdicts = oracle.check_batch(cases)
+    divergences = 0
+    for case, batched in zip(cases, batch_verdicts):
+        sequential = oracle.check_case(case.source, case.name, case.inputs)
+        assert not isinstance(batched, Exception), batched
+        assert (sequential is None) == (batched is None)
+        if sequential is not None:
+            divergences += 1
+            assert sequential.describe() == batched.describe()
+    assert divergences >= 1, "deterministic miscompile produced no divergence"
+
+
+@needs_toolchain
+def test_batch_trap_resume_recovers_following_cases():
+    """A trapping pair must not eat the results of later pairs in the batch."""
+    trap = _Case("int f(int a) {\n    return a / (a - a);\n}\n", "f", [(1,)])
+    clean = _Case("int g(int a) {\n    return a + 1;\n}\n", "g", [(1,), (41,)])
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        batch = NativeBatch(
+            [
+                BatchCase(trap.source, trap.name, list(trap.inputs)),
+                BatchCase(clean.source, clean.name, list(clean.inputs)),
+            ],
+            "O0",
+            Path(tmp),
+        )
+        status, detail = batch.outcome(0, 0)
+        assert status == "trap" and "exit status" in detail
+        status, result = batch.outcome(1, 0)
+        assert status == "ok" and result.return_value == 2
+        status, result = batch.outcome(1, 1)
+        assert status == "ok" and result.return_value == 42
+
+
+@needs_toolchain
+def test_batch_globals_reset_between_input_vectors():
+    """Vectors share one process in a batch; globals must still start
+    pristine for every call, like the per-process sequential path."""
+    source = """
+int acc = 5;
+
+int bump(int k) {
+    acc += k;
+    return acc;
+}
+"""
+    case = _Case(source, "bump", [(1,), (1,), (10,)])
+    oracle = Oracle(backends=("x86",))
+    assert oracle.check_batch([case])[0] is None
+    sequential = oracle.check_case(case.source, case.name, case.inputs)
+    assert sequential is None
+
+
+# ---------------------------------------------------------------------------
+# Parallel (--jobs) parity
+# ---------------------------------------------------------------------------
+
+
+def _records(results):
+    return [(r.index, r.seed, r.status, r.detail) for r in results]
+
+
+def test_jobs_records_identical_to_single_process_toolchain_free():
+    config = FuzzConfig(backends=(), batch_size=8)
+    sequential = run_campaign(config, 11, 24, jobs=1)
+    parallel = run_campaign(config, 11, 24, jobs=4)
+    assert _records(sequential) == _records(parallel)
+
+
+@needs_toolchain
+def test_jobs_records_identical_with_native_legs():
+    config = FuzzConfig(backends=("x86",), batch_size=8)
+    sequential = run_campaign(config, 13, 16, jobs=1)
+    parallel = run_campaign(config, 13, 16, jobs=2)
+    assert _records(sequential) == _records(parallel)
+    assert all(r.status == "ok" for r in sequential)

@@ -1,0 +1,42 @@
+"""Unit tests for the benchmark harness's regression gates (no timing)."""
+
+from repro.perf.bench import PRE_BATCHING_BASELINE, compare_reports
+
+
+def _report(rate: float, speedup: float = 5.0) -> dict:
+    return {
+        "fuzz": {
+            "batched": {"cases_per_second": rate},
+            "speedup_batched_vs_sequential": speedup,
+        }
+    }
+
+
+def test_compare_within_tolerance_passes():
+    assert compare_reports(_report(8.0), _report(10.0), tolerance=0.30) is None
+    assert compare_reports(_report(25.0), _report(10.0), tolerance=0.30) is None
+
+
+def test_compare_absolute_regression_fails():
+    failure = compare_reports(_report(6.0), _report(10.0), tolerance=0.30)
+    assert failure is not None and "regressed" in failure
+
+
+def test_compare_host_relative_speedup_gate():
+    """A fast host must not mask a broken batching layer: even when the
+    absolute rate beats the baseline, a collapsed batched-vs-sequential
+    speedup fails the gate."""
+    failure = compare_reports(
+        _report(50.0, speedup=1.1), _report(10.0), tolerance=0.30
+    )
+    assert failure is not None and "sequential path" in failure
+    assert compare_reports(_report(50.0, speedup=3.0), _report(10.0), 0.30) is None
+
+
+def test_compare_tolerates_malformed_baseline():
+    assert compare_reports(_report(6.0), {}, tolerance=0.30) is not None
+
+
+def test_pre_batching_baseline_is_recorded():
+    assert PRE_BATCHING_BASELINE["cases"] == 500
+    assert PRE_BATCHING_BASELINE["cases_per_second"] > 0
