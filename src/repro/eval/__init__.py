@@ -1,0 +1,63 @@
+"""Decompilation-hypothesis scoring: the paper's evaluation loop.
+
+SLaDe's contribution is judging candidate decompilations by **IO
+equivalence against the original binary**, not text similarity.  This
+package reproduces that loop end to end on the Mini-C pipeline:
+
+* :mod:`repro.eval.dataset` — the ExeBench role: materialises (assembly,
+  reference C, IO-vector) triples from the corpus and the seeded program
+  generator across {x86, arm} x {O0, O3}
+  (``python -m repro.eval.dataset``);
+* :mod:`repro.eval.mutate` — a mutation-based pseudo-decompiler that
+  manufactures candidate sets with *certified* ground-truth labels
+  (semantics-preserving renames/commutes/loop-refactors vs. breaking
+  off-by-ones/sign-flips/dropped-casts vs. front-end-invalid candidates),
+  so the scorer's verdicts are testable without a neural model;
+* :mod:`repro.eval.score` — the scorer itself
+  (``python -m repro.eval.score``): every candidate runs
+  parse -> typecheck -> compile -> execute-on-IO-vectors and receives one
+  of six verdicts, with the N candidates of one function executed as a
+  single :class:`repro.testing.native.NativeBatch` and a normalized edit
+  similarity as the secondary metric.
+"""
+
+from typing import List
+
+__all__: List[str] = [
+    "DatasetEntry",
+    "Observation",
+    "build_dataset",
+    "generated_entries",
+    "classify_observations",
+    "front_end_gate",
+    "Candidate",
+    "Mutator",
+    "make_candidates",
+    "CandidateScore",
+    "score_candidates",
+    "score_dataset",
+    "edit_similarity",
+]
+
+
+def __getattr__(name: str):
+    if name in (
+        "DatasetEntry",
+        "Observation",
+        "build_dataset",
+        "generated_entries",
+        "classify_observations",
+        "front_end_gate",
+    ):
+        from repro.eval import dataset
+
+        return getattr(dataset, name)
+    if name in ("Candidate", "Mutator", "make_candidates"):
+        from repro.eval import mutate
+
+        return getattr(mutate, name)
+    if name in ("CandidateScore", "score_candidates", "score_dataset", "edit_similarity"):
+        from repro.eval import score
+
+        return getattr(score, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,392 @@
+"""Dataset builder for decompilation-hypothesis scoring.
+
+This module plays the role ExeBench plays for SLaDe: it materialises
+(assembly, reference C, IO-vector) triples the candidate scorer evaluates
+against.  Every :class:`DatasetEntry` bundles
+
+* the **reference C** source and entry-point name (ground truth);
+* its compiled **assembly** for every requested (ISA, opt level) — the
+  artefact a real decompiler would be prompted with;
+* the **IO vectors**: argument tuples plus the reference's observable
+  state on each of them (return value, final pointer-argument contents,
+  final globals), produced by the interpreter — the paper's notion of the
+  function's input/output behaviour.
+
+Entries come from two sources: the seeded program generator
+(:mod:`repro.testing.generator`), which supplies unlimited fixed-seed
+functions, and the hand-written test corpus (``tests/corpus.py``) when it
+is available on disk.
+
+CLI::
+
+    python -m repro.eval.dataset --seed 0 --count 10 --output dataset.json
+    python -m repro.eval.dataset --seed 0 --count 50 --include-corpus \\
+        --isas x86,arm --opt-levels O0,O3
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.interpreter import CInterpreterError, RuntimeLimitExceeded
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.typecheck import TypeChecker
+from repro.testing.frontend import CaseContext
+from repro.testing.fuzz import case_seed
+from repro.testing.generator import ProgramGenerator
+from repro.testing.oracle import values_equal
+
+#: The (ISA, opt level) grid a dataset entry is compiled across by default.
+DEFAULT_ISAS: Tuple[str, ...] = ("x86", "arm")
+DEFAULT_OPT_LEVELS: Tuple[str, ...] = ("O0", "O3")
+
+#: Scorer verdict classes, worst to best.  ``classify_observations`` returns
+#: one of the last three; the front-end gate produces the first three.
+VERDICTS: Tuple[str, ...] = (
+    "parse_error",
+    "type_error",
+    "compile_error",
+    "trap",
+    "io_mismatch",
+    "io_equivalent",
+)
+
+
+@dataclass
+class Observation:
+    """Observable state of one execution of one input vector.
+
+    ``status`` is ``"ok"``, ``"trap"`` (runtime fault: division by zero,
+    SIGFPE, non-zero exit) or ``"limit"`` (step budget / wall-clock
+    exhaustion).  The value fields are only meaningful when ``status`` is
+    ``"ok"``.
+    """
+
+    status: str
+    return_value: Any = None
+    arg_values: List[Any] = field(default_factory=list)
+    globals: Dict[str, Any] = field(default_factory=dict)
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "return_value": self.return_value,
+            "arg_values": self.arg_values,
+            "globals": self.globals,
+        }
+
+
+@dataclass
+class DatasetEntry:
+    """One (assembly, reference C, IO-vector) triple."""
+
+    uid: str
+    origin: str  # "generated" | "corpus"
+    name: str
+    source: str
+    inputs: List[Tuple]
+    assembly: Dict[str, str]  # "<isa>-<opt>" -> assembly text
+    reference: List[Observation]  # one per input vector
+    seed: Optional[int] = None
+    context: Optional[CaseContext] = field(default=None, repr=False, compare=False)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "origin": self.origin,
+            "name": self.name,
+            "seed": self.seed,
+            "source": self.source,
+            "inputs": [list(vector) for vector in self.inputs],
+            "assembly": dict(self.assembly),
+            "reference": [obs.to_json() for obs in self.reference],
+        }
+
+
+class DatasetError(Exception):
+    """A reference function could not be materialised (it is supposed to be
+    ground truth: it must compile everywhere and execute cleanly)."""
+
+
+def front_end_gate(source: str, name: str):
+    """Run parse -> typecheck on a candidate: the single source of truth
+    for front-end verdicts.
+
+    Returns ``(verdict, detail)`` — both strings — when the candidate dies
+    in the front end, else ``(program, checker)``.  Both the scorer and the
+    mutation certifier judge candidates through this one gate, so their
+    notions of ``parse_error``/``type_error`` cannot drift apart.
+    """
+    try:
+        program = parse_program(source)
+    except (ParseError, LexError, RecursionError) as exc:
+        return "parse_error", f"{type(exc).__name__}: {exc}"
+    if program.function(name) is None:
+        return "type_error", f"candidate does not define {name!r}"
+    checker = TypeChecker(program)
+    result = checker.check()
+    if result.errors or not result.missing.is_empty():
+        detail = result.errors[0] if result.errors else "unresolved symbols"
+        return "type_error", str(detail)
+    return program, checker
+
+
+def interpreter_observation(context: CaseContext, args: Tuple) -> Observation:
+    """Run the interpreter on one input vector and record what it observed."""
+    try:
+        result = context.interpreter().run_function(context.name, args)
+    except RuntimeLimitExceeded as exc:
+        return Observation("limit", detail=str(exc))
+    except CInterpreterError as exc:
+        return Observation("trap", detail=str(exc))
+    return Observation(
+        "ok", result.return_value, list(result.arg_values), dict(result.globals)
+    )
+
+
+def classify_observations(
+    reference: Sequence[Observation], candidate: Sequence[Observation]
+) -> Tuple[str, str]:
+    """(verdict, detail) for a candidate's observations vs the reference's.
+
+    The comparison is the oracle's IO-equivalence notion: status (a trap is
+    an observation both sides must share), return value, final pointer
+    arguments, and final globals over the keys **both** sides report (the
+    native harness only observes globals that appear in the assembly).  A
+    trap anywhere takes precedence over a value mismatch; a resource limit
+    counts as a trap (a candidate that cannot finish within budget is not
+    IO-equivalent in any usable sense).
+    """
+    trap_detail: Optional[str] = None
+    mismatch_detail: Optional[str] = None
+    for index, (ref, cand) in enumerate(zip(reference, candidate)):
+        if cand.status == "limit" and trap_detail is None:
+            trap_detail = f"input #{index}: resource limit ({cand.detail})"
+        elif cand.status == "trap" and ref.status != "trap" and trap_detail is None:
+            trap_detail = f"input #{index}: {cand.detail or 'runtime trap'}"
+        elif cand.status == "ok" and ref.status == "trap" and mismatch_detail is None:
+            mismatch_detail = f"input #{index}: reference traps, candidate does not"
+        elif cand.status == "ok" and ref.status == "ok" and mismatch_detail is None:
+            field_name = _first_value_mismatch(ref, cand)
+            if field_name is not None:
+                mismatch_detail = f"input #{index}: {field_name} differs"
+    if trap_detail is not None:
+        return "trap", trap_detail
+    if mismatch_detail is not None:
+        return "io_mismatch", mismatch_detail
+    return "io_equivalent", ""
+
+
+def _first_value_mismatch(ref: Observation, cand: Observation) -> Optional[str]:
+    if ref.return_value is not None and not values_equal(
+        ref.return_value, cand.return_value
+    ):
+        return "return_value"
+    if not values_equal(ref.arg_values, cand.arg_values):
+        return "arg_values"
+    for key in sorted(ref.globals.keys() & cand.globals.keys()):
+        if not values_equal(ref.globals[key], cand.globals[key]):
+            return f"globals[{key}]"
+    return None
+
+
+def build_entry(
+    source: str,
+    name: str,
+    inputs: Sequence[Tuple],
+    uid: str,
+    origin: str,
+    seed: Optional[int] = None,
+    isas: Sequence[str] = DEFAULT_ISAS,
+    opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+    program=None,
+    checker=None,
+) -> DatasetEntry:
+    """Materialise one triple: compile the grid, record the IO vectors."""
+    try:
+        context = CaseContext(source, name, program=program, checker=checker)
+        assembly = {
+            f"{isa}-{opt}": context.assembly(isa, opt)
+            for isa in isas
+            for opt in opt_levels
+        }
+    except Exception as exc:
+        raise DatasetError(f"reference {uid} does not compile: {exc}") from exc
+    reference = [interpreter_observation(context, tuple(args)) for args in inputs]
+    for index, obs in enumerate(reference):
+        if obs.status == "limit":
+            raise DatasetError(
+                f"reference {uid} exhausts the step budget on input #{index}"
+            )
+    return DatasetEntry(
+        uid=uid,
+        origin=origin,
+        name=name,
+        source=source,
+        inputs=[tuple(args) for args in inputs],
+        assembly=assembly,
+        reference=reference,
+        seed=seed,
+        context=context,
+    )
+
+
+def generated_entries(
+    seed: int,
+    count: int,
+    max_stmts: int = 10,
+    isas: Sequence[str] = DEFAULT_ISAS,
+    opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+) -> List[DatasetEntry]:
+    """``count`` fixed-seed generator functions, ExeBench-style."""
+    entries: List[DatasetEntry] = []
+    for index in range(count):
+        entry_seed = case_seed(seed, index)
+        case = ProgramGenerator(entry_seed, max_stmts=max_stmts).generate()
+        entries.append(
+            build_entry(
+                case.source,
+                case.name,
+                case.inputs,
+                uid=f"gen-{seed}-{index}",
+                origin="generated",
+                seed=entry_seed,
+                isas=isas,
+                opt_levels=opt_levels,
+                program=case.program,
+                checker=case.checker,
+            )
+        )
+    return entries
+
+
+def load_corpus(path: Optional[Path] = None) -> List[Tuple[str, str, List[Tuple]]]:
+    """The hand-written test corpus as (source, name, inputs) triples.
+
+    The corpus lives in the test tree (``tests/corpus.py``); when the
+    package is used outside a checkout the file may be absent, in which
+    case an empty list is returned.
+    """
+    if path is None:
+        path = Path(__file__).resolve().parents[3] / "tests" / "corpus.py"
+    if not path.is_file():
+        return []
+    spec = importlib.util.spec_from_file_location("repro_eval_corpus", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return [(source, name, list(inputs)) for source, name, inputs in module.CORPUS]
+
+
+def corpus_entries(
+    corpus: Optional[Sequence[Tuple[str, str, List[Tuple]]]] = None,
+    isas: Sequence[str] = DEFAULT_ISAS,
+    opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+) -> List[DatasetEntry]:
+    if corpus is None:
+        corpus = load_corpus()
+    entries: List[DatasetEntry] = []
+    for index, (source, name, inputs) in enumerate(corpus):
+        entries.append(
+            build_entry(
+                source,
+                name,
+                inputs,
+                uid=f"corpus-{index}-{name}",
+                origin="corpus",
+                isas=isas,
+                opt_levels=opt_levels,
+            )
+        )
+    return entries
+
+
+def build_dataset(
+    seed: int,
+    count: int,
+    include_corpus: bool = False,
+    max_stmts: int = 10,
+    isas: Sequence[str] = DEFAULT_ISAS,
+    opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+) -> List[DatasetEntry]:
+    """Generator-sourced entries, optionally prefixed by the corpus."""
+    entries: List[DatasetEntry] = []
+    if include_corpus:
+        entries.extend(corpus_entries(isas=isas, opt_levels=opt_levels))
+    entries.extend(
+        generated_entries(
+            seed, count, max_stmts=max_stmts, isas=isas, opt_levels=opt_levels
+        )
+    )
+    return entries
+
+
+def dataset_to_json(entries: Sequence[DatasetEntry]) -> Dict[str, Any]:
+    return {
+        "schema": 1,
+        "entries": [entry.to_json() for entry in entries],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.dataset",
+        description="Materialise (assembly, reference C, IO-vector) triples.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    parser.add_argument(
+        "--count", type=int, default=10, help="generated functions (default 10)"
+    )
+    parser.add_argument(
+        "--max-stmts", type=int, default=10, help="statement budget per function"
+    )
+    parser.add_argument(
+        "--include-corpus",
+        action="store_true",
+        help="prepend the hand-written tests/corpus.py functions",
+    )
+    parser.add_argument(
+        "--isas",
+        default=",".join(DEFAULT_ISAS),
+        help="comma-separated ISAs to compile (default x86,arm)",
+    )
+    parser.add_argument(
+        "--opt-levels",
+        default=",".join(DEFAULT_OPT_LEVELS),
+        help="comma-separated opt levels to compile (default O0,O3)",
+    )
+    parser.add_argument(
+        "--output", default="dataset.json", help="where to write the dataset"
+    )
+    args = parser.parse_args(argv)
+    if args.max_stmts < 3:
+        parser.error("--max-stmts must be at least 3 (the generator's minimum)")
+
+    entries = build_dataset(
+        args.seed,
+        args.count,
+        include_corpus=args.include_corpus,
+        max_stmts=args.max_stmts,
+        isas=tuple(s for s in args.isas.split(",") if s),
+        opt_levels=tuple(s for s in args.opt_levels.split(",") if s),
+    )
+    with open(args.output, "w") as handle:
+        json.dump(dataset_to_json(entries), handle, indent=2)
+        handle.write("\n")
+    vectors = sum(len(entry.inputs) for entry in entries)
+    print(
+        f"wrote {args.output}: {len(entries)} functions, {vectors} IO vectors, "
+        f"{sum(len(entry.assembly) for entry in entries)} assembly listings"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

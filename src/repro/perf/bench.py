@@ -10,7 +10,11 @@ Times every stage of the corpus pipeline on fixed-seed generated programs —
 * **backends**    — x86-64 and AArch64 emission from shared lowered IR;
 * **fuzz end-to-end** — the differential campaign itself, measured both on
   the sequential per-case path (``--no-batch`` semantics) and on the
-  batched path that ships one native build/run per leg per batch
+  batched path that ships one native build/run per leg per batch;
+* **eval** — decompilation-candidate scoring throughput
+  (:mod:`repro.eval.score`): N mutation-derived candidates per function
+  pushed through parse → typecheck → compile → batched native execution,
+  reported as candidates/s
 
 — and writes the numbers to ``BENCH_pipeline.json``.  The committed copy at
 the repo root is the performance trajectory future PRs regress against:
@@ -162,6 +166,48 @@ def bench_fuzz(
     }
 
 
+def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
+    """Decompilation-hypothesis scoring throughput (the repro.eval loop).
+
+    Builds a generated dataset, manufactures labelled candidate sets and
+    scores them on the batched native path (interpreter substrate when the
+    host has no toolchain).  The agreement number is recorded so a
+    throughput win can never silently buy wrong verdicts.
+    """
+    from repro.eval.dataset import generated_entries
+    from repro.eval.mutate import Mutator
+    from repro.eval.score import score_dataset
+
+    backend = "x86" if have_native_toolchain() else "none"
+    started = time.perf_counter()
+    # Only the grid point the scorer compiles at (its compile gate emits
+    # x86-O0 in both modes) — the full grid is the dataset CLI's business.
+    entries = generated_entries(
+        seed, functions, max_stmts=8, isas=("x86",), opt_levels=("O0",)
+    )
+    candidate_sets = [
+        Mutator(entry.seed).candidates(entry, candidates) for entry in entries
+    ]
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = score_dataset(entries, candidate_sets, backend=backend, use_batch=True)
+    scoring_seconds = time.perf_counter() - started
+
+    total = report["aggregate"]["candidates"]
+    out = _stage("candidates", total, scoring_seconds)
+    out.update(
+        {
+            "functions": functions,
+            "candidates_per_function": candidates,
+            "backend": backend,
+            "build_seconds": round(build_seconds, 3),
+            "ground_truth_agreement": report["aggregate"]["ground_truth_agreement"],
+        }
+    )
+    return out
+
+
 def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
     stage_count = 40 if quick else 100
     sequential_count = 25 if quick else 500
@@ -185,6 +231,7 @@ def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
             "backends": bench_backends(cases),
         },
         "fuzz": bench_fuzz(seed, sequential_count, batched_count, jobs),
+        "eval": bench_eval(seed, 8 if quick else 20, 6 if quick else 8),
     }
     return report
 
@@ -213,6 +260,14 @@ def compare_reports(
             f"vs baseline {baseline_rate:.1f} cases/s "
             f"(> {tolerance:.0%} below baseline)"
         )
+    # The speedup gate only means something when native legs actually ran:
+    # batching changes native execution, so a toolchain-free run measures
+    # ~1x regardless of the batching layer's health.
+    legs = current["fuzz"].get("legs")
+    if legs is not None and not any(
+        leg.startswith(("x86", "arm")) for leg in legs
+    ):
+        return None
     speedup = float(current["fuzz"].get("speedup_batched_vs_sequential", 0.0))
     if speedup < min_speedup:
         return (
@@ -274,6 +329,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if not fuzz["all_cases_clean"]:
         print("warning: some benchmark cases reported divergences", file=sys.stderr)
+    eval_stage = report["eval"]
+    print(
+        f"  eval         {eval_stage['candidates_per_second']:.1f} candidates/s "
+        f"({eval_stage['functions']}x{eval_stage['candidates_per_function']} on "
+        f"{eval_stage['backend']}, agreement "
+        f"{eval_stage['ground_truth_agreement']:.0%})"
+    )
+    if eval_stage["ground_truth_agreement"] < 1.0:
+        print(
+            "warning: eval scoring disagreed with ground-truth labels",
+            file=sys.stderr,
+        )
 
     if args.compare:
         with open(args.compare) as handle:

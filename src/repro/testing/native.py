@@ -1,9 +1,8 @@
 """Native build-and-execute harnesses for compiled Mini-C assembly.
 
 This is the "run the ground truth for real" half of the paper's
-IO-equivalence check, promoted from ``tests/native_runner.py`` so the
-package no longer reaches into the test tree.  Two harnesses share the
-same encoding/decoding machinery:
+IO-equivalence check.  Two harnesses share the same encoding/decoding
+machinery:
 
 * :class:`NativeFunction` — one case per binary, one subprocess per input
   vector.  Simple, fully isolated; used by the native execution tests and

@@ -399,7 +399,12 @@ class Oracle:
                     tag=f"batch{self._batch_counter}",
                 )
                 batches[backend] = (batch, position)
-        except (subprocess.CalledProcessError, native.BatchExecutionError, OSError):
+        except (
+            subprocess.CalledProcessError,
+            subprocess.TimeoutExpired,  # the batch build itself can time out
+            native.BatchExecutionError,
+            OSError,
+        ):
             # Whole-batch infrastructure failure: fall back to the per-case
             # path, which attributes build problems to the right case.
             return self._check_batch_fallback(cases, verdicts)

@@ -51,20 +51,25 @@ def _valid(source: str) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _walk_stmt_lists(node: ast.Node) -> Iterator[List[ast.Stmt]]:
-    """Yield every statement list (block bodies) reachable from ``node``."""
+def walk_stmt_lists(node: ast.Node) -> Iterator[List[ast.Stmt]]:
+    """Yield every statement list (block bodies) reachable from ``node``.
+
+    Public because the mutation-based pseudo-decompiler
+    (:mod:`repro.eval.mutate`) edits programs through the same slots the
+    reducer shrinks them through.
+    """
     if isinstance(node, ast.Block):
         yield node.stmts
     for value in vars(node).values():
         if isinstance(value, ast.Node):
-            yield from _walk_stmt_lists(value)
+            yield from walk_stmt_lists(value)
         elif isinstance(value, list):
             for item in value:
                 if isinstance(item, ast.Node):
-                    yield from _walk_stmt_lists(item)
+                    yield from walk_stmt_lists(item)
 
 
-def _expr_slots(node: ast.Node) -> Iterator[Tuple[ast.Node, str, Optional[int]]]:
+def expr_slots(node: ast.Node) -> Iterator[Tuple[ast.Node, str, Optional[int]]]:
     """Yield (parent, attribute, list_index) for every expression position."""
     for attr, value in vars(node).items():
         if attr == "ctype":
@@ -72,21 +77,21 @@ def _expr_slots(node: ast.Node) -> Iterator[Tuple[ast.Node, str, Optional[int]]]
         if isinstance(value, ast.Expr):
             yield node, attr, None
         if isinstance(value, ast.Node):
-            yield from _expr_slots(value)
+            yield from expr_slots(value)
         elif isinstance(value, list):
             for index, item in enumerate(value):
                 if isinstance(item, ast.Expr):
                     yield node, attr, index
                 if isinstance(item, ast.Node):
-                    yield from _expr_slots(item)
+                    yield from expr_slots(item)
 
 
-def _get_slot(parent: ast.Node, attr: str, index: Optional[int]) -> ast.Expr:
+def get_slot(parent: ast.Node, attr: str, index: Optional[int]) -> ast.Expr:
     value = getattr(parent, attr)
     return value[index] if index is not None else value
 
 
-def _set_slot(parent: ast.Node, attr: str, index: Optional[int], expr: ast.Expr) -> None:
+def set_slot(parent: ast.Node, attr: str, index: Optional[int], expr: ast.Expr) -> None:
     if index is not None:
         getattr(parent, attr)[index] = expr
     else:
@@ -121,13 +126,13 @@ def _candidate_sources(program: ast.Program, name: str) -> Iterator[str]:
         return
 
     # 1. Drop whole statements (later statements first: return stays last).
-    lists = list(_walk_stmt_lists(func))
+    lists = list(walk_stmt_lists(func))
     for list_index, stmts in enumerate(lists):
         for stmt_index in reversed(range(len(stmts))):
             if isinstance(stmts[stmt_index], ast.Return):
                 continue
             clone = copy.deepcopy(program)
-            clone_lists = list(_walk_stmt_lists(clone.function(name)))
+            clone_lists = list(walk_stmt_lists(clone.function(name)))
             del clone_lists[list_index][stmt_index]
             yield _render(clone)
 
@@ -150,7 +155,7 @@ def _candidate_sources(program: ast.Program, name: str) -> Iterator[str]:
                 replacements.append(list(stmt.stmts))
             for replacement in replacements:
                 clone = copy.deepcopy(program)
-                clone_lists = list(_walk_stmt_lists(clone.function(name)))
+                clone_lists = list(walk_stmt_lists(clone.function(name)))
                 clone_repl = copy.deepcopy(replacement)
                 clone_lists[list_index][stmt_index : stmt_index + 1] = clone_repl
                 yield _render(clone)
@@ -159,9 +164,9 @@ def _candidate_sources(program: ast.Program, name: str) -> Iterator[str]:
     # conditions never get a nonzero literal: `while (1)` would turn a
     # shrink candidate into an infinite loop the native legs can only
     # escape via their execution timeout.
-    slots = list(_expr_slots(func))
+    slots = list(expr_slots(func))
     for slot_index, (parent, attr, index) in enumerate(slots):
-        original = _get_slot(parent, attr, index)
+        original = get_slot(parent, attr, index)
         is_loop_cond = attr == "cond" and isinstance(
             parent, (ast.While, ast.DoWhile, ast.For)
         )
@@ -172,23 +177,23 @@ def _candidate_sources(program: ast.Program, name: str) -> Iterator[str]:
                 replacements.append(ast.IntLiteral(1))
         for replacement in replacements:
             clone = copy.deepcopy(program)
-            clone_slots = list(_expr_slots(clone.function(name)))
+            clone_slots = list(expr_slots(clone.function(name)))
             cparent, cattr, cindex = clone_slots[slot_index]
-            _set_slot(cparent, cattr, cindex, copy.deepcopy(replacement))
+            set_slot(cparent, cattr, cindex, copy.deepcopy(replacement))
             yield _render(clone)
 
     # 4. Shrink literals toward zero.
     for slot_index, (parent, attr, index) in enumerate(slots):
-        original = _get_slot(parent, attr, index)
+        original = get_slot(parent, attr, index)
         if not isinstance(original, ast.IntLiteral) or original.value in (0, 1):
             continue
         for shrunk in (0, 1, original.value // 2, -original.value):
             if shrunk == original.value:
                 continue
             clone = copy.deepcopy(program)
-            clone_slots = list(_expr_slots(clone.function(name)))
+            clone_slots = list(expr_slots(clone.function(name)))
             cparent, cattr, cindex = clone_slots[slot_index]
-            _set_slot(cparent, cattr, cindex, ast.IntLiteral(shrunk))
+            set_slot(cparent, cattr, cindex, ast.IntLiteral(shrunk))
             yield _render(clone)
 
     # 5. Drop unused top-level globals.

@@ -17,7 +17,7 @@ from repro.testing.fuzz import FuzzConfig, case_seed, run_campaign
 from repro.testing.generator import generate_case
 from repro.testing.oracle import Oracle
 
-from native_runner import NativeBatch, BatchCase, have_native_toolchain
+from repro.testing.native import NativeBatch, BatchCase, have_native_toolchain
 
 needs_toolchain = pytest.mark.skipif(
     not have_native_toolchain(),

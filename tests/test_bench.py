@@ -33,6 +33,17 @@ def test_compare_host_relative_speedup_gate():
     assert compare_reports(_report(50.0, speedup=3.0), _report(10.0), 0.30) is None
 
 
+def test_compare_skips_speedup_gate_without_native_legs():
+    """A toolchain-free host cannot exhibit a batching speedup (batching
+    only changes native execution), so the relative gate must not fire."""
+    current = _report(8.0, speedup=1.0)
+    current["fuzz"]["legs"] = ["interp", "ir-O3"]
+    assert compare_reports(current, _report(10.0), tolerance=0.30) is None
+    # With native legs present the gate still fires.
+    current["fuzz"]["legs"] = ["interp", "ir-O3", "x86-O0", "x86-O3"]
+    assert compare_reports(current, _report(10.0), tolerance=0.30) is not None
+
+
 def test_compare_tolerates_malformed_baseline():
     assert compare_reports(_report(6.0), {}, tolerance=0.30) is not None
 

@@ -1,0 +1,248 @@
+"""Tests for the decompilation-hypothesis scoring subsystem (``repro.eval``).
+
+Pins the ISSUE's acceptance properties: every mutation with a certified
+ground-truth label must score to exactly its expected verdict (preserving
+-> ``io_equivalent``, breaking -> ``io_mismatch``/``trap``, invalid ->
+front-end verdicts), batch scoring must be byte-identical to the
+per-candidate reference path, and the JSON report must be stable under a
+fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.dataset import (
+    Observation,
+    build_entry,
+    classify_observations,
+    generated_entries,
+)
+from repro.eval.mutate import Mutator
+from repro.eval.score import edit_similarity, score_candidates, score_dataset
+from repro.testing.native import have_native_toolchain
+
+needs_toolchain = pytest.mark.skipif(
+    not have_native_toolchain(),
+    reason="requires an x86-64 host with GNU as and gcc",
+)
+
+
+def _small_dataset(seed=9, functions=4, candidates=6):
+    entries = generated_entries(seed, functions, max_stmts=8)
+    sets = [Mutator(entry.seed).candidates(entry, candidates) for entry in entries]
+    return entries, sets
+
+
+# ---------------------------------------------------------------------------
+# Dataset builder
+# ---------------------------------------------------------------------------
+
+
+def test_generated_entries_are_deterministic_and_complete():
+    a = generated_entries(3, 3, max_stmts=6)
+    b = generated_entries(3, 3, max_stmts=6)
+    assert [e.source for e in a] == [e.source for e in b]
+    for entry in a:
+        assert set(entry.assembly) == {"x86-O0", "x86-O3", "arm-O0", "arm-O3"}
+        assert len(entry.reference) == len(entry.inputs)
+        # Reference functions are ground truth: they must execute cleanly.
+        assert all(obs.status == "ok" for obs in entry.reference)
+        assert all(f"{entry.name}:" in asm for asm in entry.assembly.values())
+
+
+def test_build_entry_records_io_vectors():
+    source = """
+int scale = 2;
+
+int accum(int a, int *out) {
+    *out = a * scale;
+    scale = scale + 1;
+    return *out + 1;
+}
+"""
+    entry = build_entry(source, "accum", [(3, [0]), (5, [0])], "t-0", "corpus")
+    first, second = entry.reference
+    assert first.return_value == 7 and first.arg_values[1] == [6]
+    assert first.globals["scale"] == 3
+    # Every IO vector starts from pristine globals (fresh interpreter), so
+    # the second vector sees scale == 2 again.
+    assert second.return_value == 11
+    assert second.arg_values[1] == [10]
+    assert second.globals["scale"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Verdict classification (pure logic, no toolchain)
+# ---------------------------------------------------------------------------
+
+
+def _ok(ret, args=(), globs=None):
+    return Observation("ok", ret, list(args), dict(globs or {}))
+
+
+def test_classify_equivalent_and_mismatch():
+    ref = [_ok(1), _ok(2)]
+    assert classify_observations(ref, [_ok(1), _ok(2)])[0] == "io_equivalent"
+    verdict, detail = classify_observations(ref, [_ok(1), _ok(3)])
+    assert verdict == "io_mismatch" and "input #1" in detail
+
+
+def test_classify_trap_takes_precedence_over_mismatch():
+    ref = [_ok(1), _ok(2)]
+    cand = [_ok(9), Observation("trap", detail="SIGFPE")]
+    assert classify_observations(ref, cand)[0] == "trap"
+
+
+def test_classify_limit_counts_as_trap():
+    ref = [_ok(1)]
+    assert classify_observations(ref, [Observation("limit")])[0] == "trap"
+
+
+def test_classify_shared_trap_is_equivalent():
+    ref = [Observation("trap", detail="division by zero")]
+    cand = [Observation("trap", detail="exit status -8")]
+    assert classify_observations(ref, cand)[0] == "io_equivalent"
+
+
+def test_classify_globals_compare_common_keys_only():
+    # The native harness only observes globals present in the assembly, so
+    # a key one side does not report must not count as a divergence.
+    ref = [_ok(1, globs={"g": 5, "h": 7})]
+    assert classify_observations(ref, [_ok(1, globs={"g": 5})])[0] == "io_equivalent"
+    assert classify_observations(ref, [_ok(1, globs={"g": 6})])[0] == "io_mismatch"
+
+
+def test_classify_mismatched_args():
+    ref = [_ok(None, args=[[1, 2]])]
+    assert classify_observations(ref, [_ok(None, args=[[1, 3]])])[0] == "io_mismatch"
+
+
+# ---------------------------------------------------------------------------
+# Mutator: certified labels
+# ---------------------------------------------------------------------------
+
+
+def test_candidate_sets_are_deterministic_and_labelled():
+    entries, sets = _small_dataset()
+    _, sets_again = _small_dataset()
+    assert [[c.text for c in s] for s in sets] == [
+        [c.text for c in s] for s in sets_again
+    ]
+    for candidates in sets:
+        labels = {c.label for c in candidates}
+        assert "preserving" in labels and "breaking" in labels
+        for candidate in candidates:
+            if candidate.label == "preserving":
+                assert candidate.expected == "io_equivalent"
+            elif candidate.label == "breaking":
+                assert candidate.expected in ("io_mismatch", "trap")
+            else:
+                assert candidate.expected in (
+                    "parse_error",
+                    "type_error",
+                    "compile_error",
+                )
+            assert candidate.text != ""
+
+
+def test_trap_labels_can_be_disabled_for_arm_scoring():
+    """AArch64 division by zero returns 0 instead of faulting, so the
+    scorer requests trap-free labels when targeting the arm backend."""
+    entries = generated_entries(9, 4, max_stmts=8)
+    for entry in entries:
+        candidates = Mutator(entry.seed, allow_trap_labels=False).candidates(entry, 8)
+        assert all(c.expected != "trap" for c in candidates)
+        assert any(c.label == "breaking" for c in candidates)
+
+
+def test_preserving_candidates_differ_textually_from_reference():
+    entries, sets = _small_dataset()
+    for entry, candidates in zip(entries, sets):
+        for candidate in candidates:
+            if candidate.label == "preserving":
+                assert candidate.text != entry.source
+
+
+# ---------------------------------------------------------------------------
+# Scorer: verdict pins (interpreter substrate — no toolchain required)
+# ---------------------------------------------------------------------------
+
+
+def test_scorer_agrees_with_ground_truth_on_interpreter():
+    entries, sets = _small_dataset(seed=5, functions=5, candidates=6)
+    for entry, candidates in zip(entries, sets):
+        scores = score_candidates(entry, candidates, backend="none")
+        for candidate, score in zip(candidates, scores):
+            assert score.verdict == candidate.expected, (
+                f"{entry.uid} candidate {score.index} ({candidate.kind}): "
+                f"expected {candidate.expected}, got {score.verdict} "
+                f"({score.detail})\n{candidate.text}"
+            )
+
+
+def test_edit_similarity_metric():
+    a = "int f(int a) {\n    return a + 1;\n}\n"
+    assert edit_similarity(a, a) == 1.0
+    # Whitespace-only changes are invisible to the token-level metric.
+    assert edit_similarity("int f(int a){return a+1;}", a) == 1.0
+    renamed = a.replace("a", "b")
+    assert 0.0 < edit_similarity(renamed, a) < 1.0
+    # Unlexable candidates fall back to character comparison.
+    assert 0.0 <= edit_similarity("@@@ not C @@@", a) < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Scorer: native path, batch parity, report stability
+# ---------------------------------------------------------------------------
+
+
+@needs_toolchain
+def test_scorer_agrees_with_ground_truth_on_native():
+    entries, sets = _small_dataset(seed=13, functions=5, candidates=6)
+    report = score_dataset(entries, sets, backend="x86", use_batch=True)
+    aggregate = report["aggregate"]
+    assert aggregate["ground_truth_agreement"] == 1.0, aggregate["mismatches"]
+    assert aggregate["candidates"] == 30
+    # Every verdict class the mutator can produce must be exercised
+    # somewhere in the set for the agreement number to mean anything.
+    assert "io_equivalent" in aggregate["verdict_counts"]
+    assert set(aggregate["verdict_counts"]) & {"io_mismatch", "trap"}
+
+
+@needs_toolchain
+def test_batch_scoring_is_byte_identical_to_per_candidate():
+    entries, sets = _small_dataset(seed=17, functions=4, candidates=6)
+    batched = score_dataset(entries, sets, backend="x86", use_batch=True)
+    sequential = score_dataset(entries, sets, backend="x86", use_batch=False)
+    batched["config"]["batched"] = None
+    sequential["config"]["batched"] = None
+    assert json.dumps(batched, sort_keys=True) == json.dumps(
+        sequential, sort_keys=True
+    )
+
+
+@needs_toolchain
+def test_report_is_stable_under_fixed_seed():
+    entries, sets = _small_dataset(seed=21, functions=3, candidates=5)
+    first = score_dataset(entries, sets, backend="x86")
+    entries, sets = _small_dataset(seed=21, functions=3, candidates=5)
+    second = score_dataset(entries, sets, backend="x86")
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    # Schema pin: downstream consumers (CI artifact, bench) rely on these.
+    assert first["schema"] == 1
+    assert set(first["config"]) == {"backend", "opt_level", "batched"}
+    aggregate = first["aggregate"]
+    assert set(aggregate) >= {
+        "functions",
+        "candidates",
+        "verdict_counts",
+        "ground_truth_agreement",
+        "mismatches",
+        "top1_by_similarity",
+        "topk_any_equivalent",
+    }
+    for function in first["functions"]:
+        assert set(function) == {"uid", "name", "origin", "inputs", "candidates"}
+        for candidate in function["candidates"]:
+            assert set(candidate) >= {"index", "verdict", "similarity", "detail"}

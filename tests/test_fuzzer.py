@@ -22,7 +22,7 @@ from repro.testing.oracle import Oracle, values_equal
 from repro.testing.reduce import oracle_interestingness, reduce_case
 
 from corpus import CORPUS
-from native_runner import have_native_toolchain
+from repro.testing.native import have_native_toolchain
 
 
 # ---------------------------------------------------------------------------

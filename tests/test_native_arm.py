@@ -12,7 +12,7 @@ Skipped cleanly when no AArch64 toolchain/emulator is available.
 import pytest
 
 from corpus import CORPUS
-from native_runner import NativeFunction, have_arm_toolchain, values_equal
+from repro.testing.native import NativeFunction, have_arm_toolchain, values_equal
 
 pytestmark = pytest.mark.skipif(
     not have_arm_toolchain(),

@@ -16,7 +16,7 @@ from pathlib import Path
 import pytest
 
 from corpus import CORPUS
-from native_runner import NativeFunction, have_native_toolchain, values_equal
+from repro.testing.native import NativeFunction, have_native_toolchain, values_equal
 
 pytestmark = pytest.mark.skipif(
     not have_native_toolchain(),
