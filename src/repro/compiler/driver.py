@@ -223,11 +223,21 @@ def lower_for_backend(
     name: Optional[str] = None,
     opt_level: Union[str, int] = "O0",
     checker: Optional[TypeChecker] = None,
+    verify_ir: bool = False,
+    ir_transform=None,
 ) -> LoweredFunction:
     """Run the front half of :func:`compile_function` on a parsed program.
 
     ``checker`` optionally supplies an already-run :class:`TypeChecker` so
     repeated compilations of one program type-check once.
+
+    ``verify_ir`` runs the :mod:`repro.analysis.verifier` invariant checker
+    on the IR after lowering and again after *each* -O3 pass, raising
+    :class:`repro.analysis.verifier.IRVerificationError` with a
+    pass-attributed diagnostic on the first violation.  ``ir_transform``
+    optionally mutates the final IR in place (the fuzzer's injected
+    IR-level miscompiles); it runs after optimisation and, when
+    ``verify_ir`` is set, is itself verified.
     """
     opt_level = _normalize_opt(opt_level)
     if checker is None:
@@ -253,8 +263,25 @@ def lower_for_backend(
         ir_func, string_literals = lowerer.lower()
     except LoweringError as exc:
         raise CompileError(f"lowering error: {exc}") from exc
+    after_pass = None
+    if verify_ir:
+        # Imported lazily: the analysis package depends on repro.compiler.ir
+        # only, so there is no cycle, but the common no-verify path should
+        # not pay the import.
+        from repro.analysis.verifier import verify_function_or_raise
+
+        verify_function_or_raise(ir_func, pass_name="lowering")
+
+        def after_pass(label: str) -> None:
+            verify_function_or_raise(ir_func, pass_name=label)
+
     if opt_level == "O3":
-        optimize_ir(ir_func)
+        optimize_ir(ir_func, after_pass=after_pass)
+    if ir_transform is not None:
+        ir_transform(ir_func)
+        if verify_ir:
+            label = getattr(ir_transform, "__name__", "transform")
+            verify_function_or_raise(ir_func, pass_name=f"inject:{label}")
 
     global_sizes: Dict[str, int] = {}
     for global_name, global_type in lowerer.globals.items():
@@ -338,6 +365,7 @@ def compile_function(
     isa: str = "x86",
     opt_level: Union[str, int] = "O0",
     checker: Optional[TypeChecker] = None,
+    verify_ir: bool = False,
 ) -> CompiledFunction:
     """Compile one function of a Mini-C program to assembly.
 
@@ -346,10 +374,14 @@ def compile_function(
     (optional when the program defines exactly one).  ``isa`` is ``"x86"``
     or ``"arm"``; ``opt_level`` is ``"O0"`` or ``"O3"``.  ``checker``
     optionally shares an already-run type checker for the program.
+    ``verify_ir`` runs the IR invariant verifier after lowering and each
+    -O3 pass (see :func:`lower_for_backend`).
     """
     isa = _normalize_isa(isa)
     program = _parse(source)
-    lowered = lower_for_backend(program, name=name, opt_level=opt_level, checker=checker)
+    lowered = lower_for_backend(
+        program, name=name, opt_level=opt_level, checker=checker, verify_ir=verify_ir
+    )
     return emit_from_lowered(lowered, isa, copy_ir=False)
 
 

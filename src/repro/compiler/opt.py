@@ -552,12 +552,24 @@ def remove_redundant_jumps(func: ir.IRFunction) -> None:
     func.instrs = kept
 
 
-def optimize_ir(func: ir.IRFunction) -> None:
-    """Run the IR-level -O3 pipeline in place."""
-    for _ in range(3):
-        local_fold_and_propagate(func)
-        dead_code_elimination(func)
-    remove_redundant_jumps(func)
+def optimize_ir(func: ir.IRFunction, after_pass=None) -> None:
+    """Run the IR-level -O3 pipeline in place.
+
+    ``after_pass``, when given, is called as ``after_pass(label)`` after each
+    individual pass with a label like ``"local_fold_and_propagate[1]"`` — the
+    IR verifier uses it to attribute an invariant violation to the exact pass
+    that introduced it.
+    """
+
+    def _run(pass_fn, label: str) -> None:
+        pass_fn(func)
+        if after_pass is not None:
+            after_pass(label)
+
+    for round_index in range(3):
+        _run(local_fold_and_propagate, f"local_fold_and_propagate[{round_index}]")
+        _run(dead_code_elimination, f"dead_code_elimination[{round_index}]")
+    _run(remove_redundant_jumps, "remove_redundant_jumps")
     # Jump removal can leave labels with no remaining references behind;
     # re-running DCE prunes them.
-    dead_code_elimination(func)
+    _run(dead_code_elimination, "dead_code_elimination[final]")

@@ -124,6 +124,12 @@ class CandidateScore:
     kind: str = ""
     label: str = ""
     expected: str = ""
+    #: The UB linter proved every call of this candidate traps (a definite
+    #: division by zero on the must-execute spine).
+    lint_flagged: bool = False
+    #: The verdict above was assigned by the lint pre-filter, without
+    #: compiling or executing the candidate.
+    lint_prefilter: bool = False
 
     @property
     def matches_expected(self) -> bool:
@@ -136,6 +142,10 @@ class CandidateScore:
             "similarity": self.similarity,
             "detail": self.detail,
         }
+        if self.lint_flagged:
+            out["lint_flagged"] = True
+        if self.lint_prefilter:
+            out["lint_prefilter"] = True
         if self.expected:
             out.update(
                 {
@@ -188,6 +198,21 @@ def _native_outcome_to_observation(outcome: Tuple[str, Any]) -> Observation:
     return Observation(status, detail=str(payload))
 
 
+def _lint_trap_finding(context: CaseContext, name: str):
+    """The first linter finding proving every call traps, or None.
+
+    Lint failures never block scoring — a candidate the analysis chokes on
+    simply falls through to the execution path.
+    """
+    from repro.analysis.lint import lint_program
+
+    try:
+        findings = lint_program(context.program, name=name)
+    except Exception:
+        return None
+    return next((f for f in findings if f.predicts_trap), None)
+
+
 def score_candidates(
     entry: DatasetEntry,
     candidates: Sequence[Candidate],
@@ -195,6 +220,7 @@ def score_candidates(
     opt_level: str = "O0",
     use_batch: bool = True,
     workdir: Optional[Path] = None,
+    lint: bool = True,
 ) -> List[CandidateScore]:
     """Score one function's candidate set against its IO vectors.
 
@@ -204,11 +230,30 @@ def score_candidates(
     single :class:`NativeBatch`; without it each gets its own
     :class:`NativeFunction` — the slower reference path the batch path must
     match byte for byte.
+
+    With ``lint`` (default) every gate survivor runs through the UB linter
+    of :mod:`repro.analysis.lint` first.  A candidate the linter *proves*
+    traps on every call (definite division by zero on the must-execute
+    spine) is annotated ``lint_flagged`` — and, when the fast path is
+    sound, receives its ``trap`` verdict without compiling or executing:
+    that requires an all-ok reference (so :func:`classify_observations`
+    would map any candidate trap/limit to ``trap``), at least one input,
+    and a substrate where the dialect's trap semantics hold (``x86``/
+    ``none`` at ``O0`` — AArch64 returns 0 on division by zero and -O3
+    may fold the site away, exactly the cases trap labels are disabled
+    for).  The pre-filter is batching-independent, so batched and
+    per-candidate reports stay byte-identical.
     """
     tmp: Optional[tempfile.TemporaryDirectory] = None
     if workdir is None and backend != "none":
         tmp = tempfile.TemporaryDirectory(prefix="minic-eval-")
         workdir = Path(tmp.name)
+    fast_trap_sound = (
+        backend in ("x86", "none")
+        and opt_level == "O0"
+        and len(entry.inputs) > 0
+        and all(obs.status == "ok" for obs in entry.reference)
+    )
     try:
         scores: List[CandidateScore] = []
         survivors: List[Tuple[int, CaseContext]] = []
@@ -224,12 +269,21 @@ def score_candidates(
                     )
                 )
                 continue
-            scores.append(
-                CandidateScore(
-                    index, "", similarity, "",
-                    candidate.kind, candidate.label, candidate.expected,
-                )
+            score = CandidateScore(
+                index, "", similarity, "",
+                candidate.kind, candidate.label, candidate.expected,
             )
+            if lint:
+                finding = _lint_trap_finding(gate, entry.name)
+                if finding is not None:
+                    score.lint_flagged = True
+                    if fast_trap_sound:
+                        score.verdict = "trap"
+                        score.detail = f"lint: {finding.message} [every call traps]"
+                        score.lint_prefilter = True
+                        scores.append(score)
+                        continue
+            scores.append(score)
             survivors.append((index, gate))
 
         observations = _execute_survivors(
@@ -371,6 +425,7 @@ def score_dataset(
     backend: str = "x86",
     opt_level: str = "O0",
     use_batch: bool = True,
+    lint: bool = True,
 ) -> Dict[str, Any]:
     """Score every entry's candidate set and build the aggregate report."""
     functions: List[Dict[str, Any]] = []
@@ -378,13 +433,37 @@ def score_dataset(
     mismatches: List[Dict[str, Any]] = []
     max_candidates = max((len(c) for c in candidate_sets), default=0)
     topk_hits = [0] * max_candidates
+    # Linter-as-classifier bookkeeping against the certified mutate labels:
+    # the positive class is expected == "trap".
+    lint_flagged = 0
+    lint_prefilter_skips = 0
+    lint_true_positives = 0
+    lint_false_positives = 0
+    labelled_traps = 0
 
     for entry, candidates in zip(entries, candidate_sets):
         scores = score_candidates(
-            entry, candidates, backend=backend, opt_level=opt_level, use_batch=use_batch
+            entry,
+            candidates,
+            backend=backend,
+            opt_level=opt_level,
+            use_batch=use_batch,
+            lint=lint,
         )
         for score in scores:
             verdict_counts[score.verdict] = verdict_counts.get(score.verdict, 0) + 1
+            if score.lint_flagged:
+                lint_flagged += 1
+            if score.lint_prefilter:
+                lint_prefilter_skips += 1
+            if score.expected:
+                if score.expected == "trap":
+                    labelled_traps += 1
+                if score.lint_flagged:
+                    if score.expected == "trap":
+                        lint_true_positives += 1
+                    else:
+                        lint_false_positives += 1
             if score.expected and not score.matches_expected:
                 mismatches.append(
                     {
@@ -419,12 +498,28 @@ def score_dataset(
         1 for sets in candidate_sets for candidate in sets if candidate.expected
     )
     agreement = (labelled - len(mismatches)) / labelled if labelled else 1.0
+    predicted = lint_true_positives + lint_false_positives
+    lint_section: Dict[str, Any] = {
+        "enabled": lint,
+        "flagged": lint_flagged,
+        "prefilter_skips": lint_prefilter_skips,
+        "labelled_traps": labelled_traps,
+        "true_positives": lint_true_positives,
+        "false_positives": lint_false_positives,
+        # Precision over the labelled candidates the linter flagged; 1.0
+        # when it flagged none (no claims, no wrong claims).
+        "precision": round(lint_true_positives / predicted, 4) if predicted else 1.0,
+        "recall": round(lint_true_positives / labelled_traps, 4)
+        if labelled_traps
+        else 1.0,
+    }
     return {
         "schema": 1,
         "config": {
             "backend": backend,
             "opt_level": opt_level,
             "batched": use_batch,
+            "lint": lint,
         },
         "functions": functions,
         "aggregate": {
@@ -432,6 +527,7 @@ def score_dataset(
             "candidates": total_candidates,
             "verdict_counts": dict(sorted(verdict_counts.items())),
             "ground_truth_agreement": round(agreement, 4),
+            "lint": lint_section,
             "mismatches": mismatches,
             "top1_by_similarity": round(topk_hits[0] / total_functions, 4)
             if total_functions and topk_hits
@@ -505,6 +601,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "two reports are byte-identical",
     )
     parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the UB-linter pre-filter (on by default: candidates the "
+        "linter proves trap on every call skip compile+execute)",
+    )
+    parser.add_argument(
         "--output", default="eval_report.json", help="where to write the JSON report"
     )
     args = parser.parse_args(argv)
@@ -547,6 +649,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=backend,
         opt_level=args.opt_level,
         use_batch=not args.no_batch,
+        lint=not args.no_lint,
     )
     scored = time.time()
 
@@ -558,6 +661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=backend,
             opt_level=args.opt_level,
             use_batch=args.no_batch,  # the other path
+            lint=not args.no_lint,
         )
         # The two runs differ only in the recorded batching flag.
         a = {**report, "config": {**report["config"], "batched": None}}
@@ -583,6 +687,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"  ground-truth agreement: {aggregate['ground_truth_agreement']:.1%} "
         f"({len(aggregate['mismatches'])} mismatches)"
     )
+    lint_section = aggregate["lint"]
+    if lint_section["enabled"]:
+        print(
+            f"  lint pre-filter: {lint_section['flagged']} flagged, "
+            f"{lint_section['prefilter_skips']} execution(s) skipped, "
+            f"precision {lint_section['precision']:.1%} / "
+            f"recall {lint_section['recall']:.1%} vs certified trap labels"
+        )
     print(
         f"  top-1 by similarity: {aggregate['top1_by_similarity']:.1%}; "
         f"any-equivalent@N: "

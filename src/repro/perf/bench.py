@@ -6,6 +6,9 @@ Times every stage of the corpus pipeline on fixed-seed generated programs —
   printer/parser/typechecker round-trip the sampler performs);
 * **frontend**    — parse + typecheck of already-rendered sources;
 * **interpreter** — the reference-leg evaluator, one run per input vector;
+* **lint**        — the UB/dataflow linter (:mod:`repro.analysis.lint`)
+  over the already-typechecked ASTs, the same pass the eval scorer runs
+  as its pre-filter;
 * **lowering**    — AST opt + lowering + IR opt at both -O0 and -O3;
 * **backends**    — x86-64 and AArch64 emission from shared lowered IR;
 * **fuzz end-to-end** — the differential campaign itself, measured both on
@@ -103,6 +106,18 @@ def bench_interpreter(cases: List[GeneratedCase]) -> Dict:
             context.interpreter().run_function(case.name, args)
             runs += 1
     return _stage("runs", runs, time.perf_counter() - started)
+
+
+def bench_lint(cases: List[GeneratedCase]) -> Dict:
+    from repro.analysis.lint import lint_program
+
+    findings = 0
+    started = time.perf_counter()
+    for case in cases:
+        findings += len(lint_program(case.program, name=case.name))
+    out = _stage("cases", len(cases), time.perf_counter() - started)
+    out["findings"] = findings
+    return out
 
 
 def bench_lowering(cases: List[GeneratedCase]) -> Dict:
@@ -227,6 +242,7 @@ def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
             "generator": bench_generator(seed, stage_count),
             "frontend": bench_frontend(cases),
             "interpreter": bench_interpreter(cases),
+            "lint": bench_lint(cases),
             "lowering": bench_lowering(cases),
             "backends": bench_backends(cases),
         },

@@ -44,8 +44,15 @@ class CaseContext:
         name: Optional[str] = None,
         program: Optional[ast.Program] = None,
         checker: Optional[TypeChecker] = None,
+        verify_ir: bool = False,
+        ir_transform=None,
     ) -> None:
         self.source = source
+        #: When set, :meth:`lowered` runs the IR verifier after lowering and
+        #: after every -O3 pass (``ir_transform`` injects an IR-level
+        #: miscompile first — the fuzzer's self-test hook).
+        self.verify_ir = verify_ir
+        self.ir_transform = ir_transform
         self.program = program if program is not None else parse_program(source)
         if name is None:
             functions = self.program.functions()
@@ -82,7 +89,12 @@ class CaseContext:
         cached = self._lowered.get(opt_level)
         if cached is None:
             cached = lower_for_backend(
-                self.program, name=self.name, opt_level=opt_level, checker=self.checker
+                self.program,
+                name=self.name,
+                opt_level=opt_level,
+                checker=self.checker,
+                verify_ir=self.verify_ir,
+                ir_transform=self.ir_transform,
             )
             self._lowered[opt_level] = cached
         return cached

@@ -17,12 +17,29 @@ Throughput machinery (all verdict-preserving):
   so results are aggregated deterministically by case index regardless of
   worker scheduling.
 
+Static/dynamic analysis legs (see :mod:`repro.analysis`):
+
+* The **IR verifier** runs on every case by default, after lowering and
+  after each -O3 pass, before any differential leg executes; a violation
+  is a first-class ``ir-verifier`` divergence with a pass-attributed
+  diagnostic (``--no-verify-ir`` disables it).
+* ``--sanitize`` adds the report-only UBSan-instrumented C leg; its
+  reports surface as ``sanitizer`` divergences.
+* ``--inject-ir-miscompile`` drops the first re-extension cast from the
+  lowered IR — the IR-level analogue of ``--inject-miscompile`` — which
+  the verifier must catch *before* the differential legs run.
+* ``--json-report PATH`` writes a machine-readable campaign report whose
+  failures carry their category (``io`` / ``ir-verifier`` / ``sanitizer``
+  / ``build-error``).
+
 Typical invocations::
 
     python -m repro.testing.fuzz --seed 0 --count 500
     python -m repro.testing.fuzz --seed 0 --count 500 --jobs 4
     python -m repro.testing.fuzz --seed 3 --count 50 --max-stmts 6 --backend none
     python -m repro.testing.fuzz --seed 0 --count 20 --inject-miscompile
+    python -m repro.testing.fuzz --seed 0 --count 20 --inject-ir-miscompile
+    python -m repro.testing.fuzz --seed 0 --count 100 --sanitize --json-report out.json
 
 Exit status is 0 when every case agreed on every substrate, 1 when a
 divergence was found (or a leg failed to build).
@@ -62,6 +79,20 @@ def strip_cltd(assembly: str) -> str:
     return "\n".join(lines) + "\n"
 
 
+def strip_reextension(ir_func) -> None:
+    """Deliberate IR-level miscompile: replace the first width cast with a
+    plain move, silently dropping the re-extension the typed-invariant
+    discipline requires.  The IR verifier must refuse the function before
+    any differential leg runs (the pass label in the diagnostic reads
+    ``inject:strip_reextension``)."""
+    from repro.compiler import ir
+
+    for index, instr in enumerate(ir_func.instrs):
+        if isinstance(instr, ir.IRCast) and instr.kind in ir.WIDTH_CASTS:
+            ir_func.instrs[index] = ir.IRMove(instr.dst, instr.src)
+            return
+
+
 @dataclass(frozen=True)
 class FuzzConfig:
     """Picklable campaign configuration (shared with worker processes)."""
@@ -72,6 +103,9 @@ class FuzzConfig:
     max_stmts: int = 12
     batch_size: int = 32
     use_batch: bool = True
+    verify_ir: bool = True
+    inject_ir_miscompile: bool = False
+    sanitize: bool = False
 
 
 @dataclass
@@ -82,6 +116,9 @@ class CaseResult:
     seed: int
     status: str  # "ok" | "divergence" | "build-error"
     detail: str = ""
+    #: Failure taxonomy: "" for ok, "io" / "ir-verifier" / "sanitizer" for
+    #: divergences, "build-error" for legs that could not be built.
+    category: str = ""
 
     @property
     def failed(self) -> bool:
@@ -93,6 +130,9 @@ def build_oracle(config: FuzzConfig) -> Oracle:
         backends=list(config.backends),
         asm_transform=strip_cltd if config.inject_miscompile else None,
         require_native=config.require_native,
+        verify_ir=config.verify_ir,
+        ir_transform=strip_reextension if config.inject_ir_miscompile else None,
+        sanitize=config.sanitize,
     )
 
 
@@ -114,13 +154,21 @@ def evaluate_cases(
             try:
                 divergence = oracle.check_case(case.source, case.name, case.inputs)
             except Exception as exc:  # build failures are findings, not crashes
-                results.append(CaseResult(index, seed, "build-error", str(exc)))
+                results.append(
+                    CaseResult(index, seed, "build-error", str(exc), "build-error")
+                )
                 continue
             if divergence is None:
                 results.append(CaseResult(index, seed, "ok"))
             else:
                 results.append(
-                    CaseResult(index, seed, "divergence", divergence.describe())
+                    CaseResult(
+                        index,
+                        seed,
+                        "divergence",
+                        divergence.describe(),
+                        divergence.category,
+                    )
                 )
         return results
 
@@ -133,10 +181,14 @@ def evaluate_cases(
             if verdict is None:
                 results.append(CaseResult(index, seed, "ok"))
             elif isinstance(verdict, Exception):
-                results.append(CaseResult(index, seed, "build-error", str(verdict)))
+                results.append(
+                    CaseResult(index, seed, "build-error", str(verdict), "build-error")
+                )
             else:
                 results.append(
-                    CaseResult(index, seed, "divergence", verdict.describe())
+                    CaseResult(
+                        index, seed, "divergence", verdict.describe(), verdict.category
+                    )
                 )
     return results
 
@@ -184,6 +236,11 @@ def _report_failure(
     print("--- program ---")
     print(case.source)
     if args.no_reduce:
+        return
+    if result.category not in ("", "io"):
+        # Verifier violations and sanitizer reports already carry their own
+        # attribution (pass label / source location); the delta reducer only
+        # adds value for observable IO mismatches.
         return
     print("--- reducing ---")
     predicate = oracle_interestingness(oracle, case.name)
@@ -268,7 +325,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="strip the first cltd from the x86 output (harness self-test: "
         "the oracle must catch and reduce the resulting miscompile)",
     )
+    parser.add_argument(
+        "--inject-ir-miscompile",
+        action="store_true",
+        help="replace the first re-extension cast in the lowered IR with a "
+        "move (verifier self-test: caught before any differential leg runs)",
+    )
+    parser.add_argument(
+        "--no-verify-ir",
+        action="store_true",
+        help="skip the IR verifier (on by default after lowering and after "
+        "every -O3 pass)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="add the report-only UBSan-instrumented C leg (needs host gcc); "
+        "reports surface as 'sanitizer' divergences",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="PATH",
+        help="write a machine-readable campaign report (failures carry their "
+        "category: io / ir-verifier / sanitizer / build-error)",
+    )
     args = parser.parse_args(argv)
+
+    if args.inject_ir_miscompile and args.no_verify_ir:
+        print(
+            "error: --inject-ir-miscompile tests the IR verifier and is "
+            "meaningless with --no-verify-ir",
+            file=sys.stderr,
+        )
+        return 2
 
     backends: Tuple[str, ...]
     if args.backend == "none":
@@ -284,6 +373,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_stmts=args.max_stmts,
         batch_size=max(1, args.batch_size),
         use_batch=not args.no_batch,
+        verify_ir=not args.no_verify_ir,
+        inject_ir_miscompile=args.inject_ir_miscompile,
+        sanitize=args.sanitize,
     )
 
     try:
@@ -304,10 +396,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.sanitize and oracle.sanitizer_config is None:
+        print(
+            "error: --sanitize needs the host gcc toolchain "
+            "(the instrumented leg compiles each case's source as C)",
+            file=sys.stderr,
+        )
+        return 2
 
     started = time.time()
     failures = 0
     checked = 0
+    failed_results: List[CaseResult] = []
 
     if args.jobs > 1:
         # Parallel: evaluate everything, then report in deterministic order.
@@ -317,6 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not result.failed:
                 continue
             failures += 1
+            failed_results.append(result)
             _report_failure(
                 result, generate(config, args.seed, result.index), oracle, args
             )
@@ -335,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if not result.failed:
                     continue
                 failures += 1
+                failed_results.append(result)
                 _report_failure(
                     result, generate(config, args.seed, result.index), oracle, args
                 )
@@ -352,6 +454,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 last_progress = checked
 
     elapsed = time.time() - started
+    if args.json_report:
+        import json
+        from dataclasses import asdict
+        from pathlib import Path
+
+        by_category: dict = {}
+        for result in failed_results:
+            by_category[result.category] = by_category.get(result.category, 0) + 1
+        report = {
+            "seed": args.seed,
+            "count": args.count,
+            "checked": checked,
+            "elapsed_seconds": round(elapsed, 3),
+            "legs": oracle.legs(),
+            "config": asdict(config),
+            "failures": [asdict(result) for result in failed_results],
+            "failures_by_category": by_category,
+        }
+        Path(args.json_report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.json_report}")
     if failures:
         print(f"\n{failures} diverging case(s) out of {checked} in {elapsed:.1f}s")
         return 1

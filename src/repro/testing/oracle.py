@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.sanitize import SanitizerBatch, SanitizerConfig
+from repro.analysis.verifier import IRVerificationError
 from repro.lang.interpreter import CInterpreterError, RuntimeLimitExceeded
 from repro.testing import native
 from repro.testing.frontend import CaseContext
@@ -84,7 +86,16 @@ class LegOutcome:
 
 @dataclass
 class Divergence:
-    """The first observed disagreement between two legs on one input."""
+    """The first observed disagreement between two legs on one input.
+
+    ``category`` distinguishes the three first-class failure kinds the
+    harness reports: ``"io"`` (the classic observable-state mismatch),
+    ``"ir-verifier"`` (a typed-invariant violation caught *before* any leg
+    executed — ``diverging_leg`` names the offending pass and ``detail``
+    carries the pass-attributed diagnostics) and ``"sanitizer"`` (UBSan/
+    ASan reports from the instrumented C leg, in ``detail``).  The latter
+    two have no per-input outcomes (``input_index`` is -1).
+    """
 
     source: str
     name: str
@@ -94,8 +105,21 @@ class Divergence:
     diverging_leg: str
     field: str  # "status" | "return_value" | "arg_values" | "globals"
     outcomes: List[LegOutcome]
+    category: str = "io"  # "io" | "ir-verifier" | "sanitizer"
+    detail: str = ""
 
     def describe(self) -> str:
+        if self.category == "ir-verifier":
+            lines = [
+                f"IR invariant violation in {self.name} "
+                f"(caught before execution, after {self.diverging_leg}):"
+            ]
+            lines.extend("  " + line for line in self.detail.splitlines())
+            return "\n".join(lines)
+        if self.category == "sanitizer":
+            lines = [f"sanitizer report for {self.name}:"]
+            lines.extend("  " + line for line in self.detail.splitlines())
+            return "\n".join(lines)
         lines = [
             f"divergence on input #{self.input_index} "
             f"{self.inputs[self.input_index]!r}: "
@@ -127,6 +151,16 @@ class Oracle:
     turns that into an error instead).  ``asm_transform`` rewrites the
     generated assembly before it is assembled — used to prove the harness
     catches deliberately injected miscompiles.
+
+    ``verify_ir`` (on by default) runs the typed-invariant verifier of
+    :mod:`repro.analysis.verifier` after lowering and after every -O3 pass
+    of each case, *before* any leg executes; a violation is reported as a
+    first-class :class:`Divergence` with ``category="ir-verifier"``.
+    ``ir_transform`` mutates the lowered IR first — the IR-level analogue
+    of ``asm_transform``, used to prove the verifier catches injected
+    breakage.  ``sanitize`` adds the report-only UBSan/ASan C leg of
+    :mod:`repro.analysis.sanitize` (requires the x86 toolchain); pass
+    ``True`` for the default config or a :class:`SanitizerConfig`.
     """
 
     def __init__(
@@ -136,9 +170,19 @@ class Oracle:
         asm_transform: Optional[Callable[[str], str]] = None,
         require_native: bool = False,
         include_ir_leg: bool = True,
+        verify_ir: bool = True,
+        ir_transform=None,
+        sanitize: Union[bool, SanitizerConfig, None] = None,
     ) -> None:
         self.asm_transform = asm_transform
         self.include_ir_leg = include_ir_leg
+        self.verify_ir = verify_ir
+        self.ir_transform = ir_transform
+        self.sanitizer_config: Optional[SanitizerConfig] = None
+        if sanitize:
+            self.sanitizer_config = (
+                sanitize if isinstance(sanitize, SanitizerConfig) else SanitizerConfig()
+            )
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         if workdir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="minic-fuzz-")
@@ -156,6 +200,10 @@ class Oracle:
                 self.native_backends.append(backend)
             elif require_native:
                 raise OracleError(f"no toolchain for the {backend!r} backend")
+        if self.sanitizer_config is not None and not native.have_native_toolchain():
+            if require_native:
+                raise OracleError("no host toolchain for the sanitizer leg")
+            self.sanitizer_config = None
 
     def legs(self) -> List[str]:
         names = ["interp"]
@@ -164,6 +212,104 @@ class Oracle:
         for backend in self.native_backends:
             names.extend([f"{backend}-O0", f"{backend}-O3"])
         return names
+
+    # -- static gate (IR verifier) --------------------------------------------
+
+    def _make_context(self, source: str, name: str, **kwargs) -> CaseContext:
+        return CaseContext(
+            source,
+            name,
+            verify_ir=self.verify_ir,
+            ir_transform=self.ir_transform,
+            **kwargs,
+        )
+
+    def _verifier_divergence(
+        self, source: str, name: str, inputs: List[Tuple], exc: IRVerificationError
+    ) -> Divergence:
+        return Divergence(
+            source,
+            name,
+            list(inputs),
+            -1,
+            "ir-verifier",
+            exc.pass_name,
+            "invariant",
+            [],
+            category="ir-verifier",
+            detail=str(exc),
+        )
+
+    def _verify_context(
+        self, context: CaseContext, inputs: List[Tuple]
+    ) -> Optional[Divergence]:
+        """Force both lowerings so the verifier runs before any leg does.
+
+        Returns the pass-attributed verdict for a broken middle end; all
+        other build errors propagate unchanged (the legs would have raised
+        them anyway, just later).
+        """
+        if not (self.verify_ir or self.ir_transform is not None):
+            return None
+        try:
+            context.lowered("O0")
+            context.lowered("O3")
+        except IRVerificationError as exc:
+            return self._verifier_divergence(
+                context.source, context.name, inputs, exc
+            )
+        return None
+
+    # -- sanitizer leg ---------------------------------------------------------
+
+    def _sanitize_cases(
+        self, entries: List[Tuple[CaseContext, List[Tuple]]]
+    ) -> Dict[int, Divergence]:
+        """Run the instrumented C leg over clean cases; verdicts by position.
+
+        ``entries`` holds (context, inputs) pairs; the returned dict maps
+        positions in that list to ``category="sanitizer"`` divergences.
+        Raises :class:`OracleError` when the instrumented binary itself is
+        broken (build failure, death outside any case).
+        """
+        if self.sanitizer_config is None or not entries:
+            return {}
+        batch_cases = [
+            native.BatchCase(
+                source=context.source,
+                name=context.name,
+                inputs=list(inputs),
+                context=context,
+            )
+            for context, inputs in entries
+        ]
+        self._batch_counter += 1
+        try:
+            batch = SanitizerBatch(
+                batch_cases,
+                self.workdir,
+                self.sanitizer_config,
+                tag=f"san{self._batch_counter}",
+            )
+            by_case = batch.reports_by_case()
+        except native.BatchExecutionError as exc:
+            raise OracleError(f"sanitizer leg failed: {exc}") from exc
+        verdicts: Dict[int, Divergence] = {}
+        for position, reports in by_case.items():
+            context, inputs = entries[position]
+            verdicts[position] = Divergence(
+                context.source,
+                context.name,
+                list(inputs),
+                -1,
+                "interp",
+                "sanitizer",
+                "report",
+                [],
+                category="sanitizer",
+                detail="\n".join(str(report) for report in reports),
+            )
+        return verdicts
 
     # -- leg execution --------------------------------------------------------
 
@@ -298,7 +444,10 @@ class Oracle:
         inputs = list(inputs)
         # The front half (parse, typecheck, lowering) runs once per case and
         # is shared by every leg and every input vector.
-        context = CaseContext(source, name)
+        context = self._make_context(source, name)
+        verifier_verdict = self._verify_context(context, inputs)
+        if verifier_verdict is not None:
+            return verifier_verdict
         natives: Dict[str, native.NativeFunction] = {}
         for backend in self.native_backends:
             for opt in ("O0", "O3"):
@@ -318,7 +467,10 @@ class Oracle:
                 for leg, native_fn in natives.items()
             ]
 
-        return self._first_divergence(context, inputs, native_outcomes)
+        divergence = self._first_divergence(context, inputs, native_outcomes)
+        if divergence is None:
+            divergence = self._sanitize_cases([(context, inputs)]).get(0)
+        return divergence
 
     # -- batched evaluation ----------------------------------------------------
 
@@ -336,7 +488,7 @@ class Oracle:
         verdicts: List[CaseVerdict] = []
         for case in cases:
             try:
-                context = CaseContext(
+                context = self._make_context(
                     case.source,
                     case.name,
                     program=getattr(case, "program", None),
@@ -349,25 +501,43 @@ class Oracle:
                 verdicts.append(None)
             contexts.append(context)
 
+        # The static gate runs before any leg is built: a case whose IR
+        # breaks an invariant gets its pass-attributed divergence here and
+        # never reaches the differential legs.
+        for index, context in enumerate(contexts):
+            if context is None or verdicts[index] is not None:
+                continue
+            try:
+                verdict = self._verify_context(context, list(cases[index].inputs))
+            except Exception as exc:  # lowering itself failed: build error
+                verdicts[index] = exc
+            else:
+                if verdict is not None:
+                    verdicts[index] = verdict
+
         # Compile every native leg of every case up front; a case whose
         # assembly cannot be built gets its exception as the verdict and
         # drops out of the batch (matching check_case, where the same
         # exception propagates to the caller per case).
         assemblies: Dict[Tuple[int, str, str], str] = {}
         for index, context in enumerate(contexts):
-            if context is None or isinstance(verdicts[index], Exception):
+            if context is None or verdicts[index] is not None:
                 continue
             try:
                 for backend in self.native_backends:
                     for opt in ("O0", "O3"):
                         assemblies[(index, backend, opt)] = context.assembly(backend, opt)
+            except IRVerificationError as exc:
+                verdicts[index] = self._verifier_divergence(
+                    cases[index].source, cases[index].name, list(cases[index].inputs), exc
+                )
             except Exception as exc:
                 verdicts[index] = exc
 
         active = [
             index
             for index in range(len(contexts))
-            if contexts[index] is not None and not isinstance(verdicts[index], Exception)
+            if contexts[index] is not None and verdicts[index] is None
         ]
 
         # One batch binary per backend holds BOTH opt levels (entries are
@@ -433,13 +603,25 @@ class Oracle:
                 verdicts[index] = self.check_case(
                     cases[index].source, cases[index].name, inputs
                 )
+
+        # Instrumented C leg, last: report-only, so IO divergences keep
+        # precedence and only still-clean cases are submitted.
+        if self.sanitizer_config is not None:
+            clean = [index for index in active if verdicts[index] is None]
+            entries = []
+            for index in clean:
+                context = contexts[index]
+                assert context is not None
+                entries.append((context, list(cases[index].inputs)))
+            for position, verdict in self._sanitize_cases(entries).items():
+                verdicts[clean[position]] = verdict
         return verdicts
 
     def _check_batch_fallback(
         self, cases: Sequence[CaseLike], verdicts: List[CaseVerdict]
     ) -> List[CaseVerdict]:
         for index, case in enumerate(cases):
-            if isinstance(verdicts[index], Exception):
+            if verdicts[index] is not None:
                 continue
             try:
                 verdicts[index] = self.check_case(

@@ -231,13 +231,14 @@ def test_report_is_stable_under_fixed_seed():
     assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
     # Schema pin: downstream consumers (CI artifact, bench) rely on these.
     assert first["schema"] == 1
-    assert set(first["config"]) == {"backend", "opt_level", "batched"}
+    assert set(first["config"]) == {"backend", "opt_level", "batched", "lint"}
     aggregate = first["aggregate"]
     assert set(aggregate) >= {
         "functions",
         "candidates",
         "verdict_counts",
         "ground_truth_agreement",
+        "lint",
         "mismatches",
         "top1_by_similarity",
         "topk_any_equivalent",
