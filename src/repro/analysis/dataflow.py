@@ -564,8 +564,12 @@ class _Analyzer:
         if name in self.escaped or name not in state.values:
             return
         current = state.values[name]
-        new_lo = lo if current.lo is None else (current.lo if lo is None else max(current.lo, lo))
-        new_hi = hi if current.hi is None else (current.hi if hi is None else min(current.hi, hi))
+        new_lo = lo if current.lo is None else (
+            current.lo if lo is None else max(current.lo, lo)
+        )
+        new_hi = hi if current.hi is None else (
+            current.hi if hi is None else min(current.hi, hi)
+        )
         nonzero = current.nonzero
         if new_lo is not None and new_hi is not None and new_lo > new_hi:
             return  # contradictory path; keep the old value

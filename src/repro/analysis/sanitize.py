@@ -311,7 +311,9 @@ class SanitizerBatch:
             )
             for gname, gsize in entry.globals:
                 lines.append(f"extern unsigned char {_mangle(entry.index, gname)}[];")
-                lines.append(f"static unsigned char snap{entry.index}_{gname}[{gsize}];")
+                lines.append(
+                    f"static unsigned char snap{entry.index}_{gname}[{gsize}];"
+                )
         lines.append(_BITS_HELPER)
         lines.append("int main(int argc, char **argv) {")
         lines.append("    long start = argc > 1 ? atol(argv[1]) : 0;")
@@ -347,7 +349,9 @@ class SanitizerBatch:
                         f"        memcpy({_mangle(entry.index, gname)}, "
                         f"snap{entry.index}_{gname}, {gsize});"
                     )
-                lines.append(f"        {_entry_symbol(entry.index)}({', '.join(call_args)});")
+                lines.append(
+                    f"        {_entry_symbol(entry.index)}({', '.join(call_args)});"
+                )
                 lines.append('        printf("DONE %ld\\n", pair); fflush(stdout);')
                 lines.append("    }")
         lines.append("    return 0;")

@@ -602,7 +602,9 @@ class _FunctionVerifier:
         if instr.is_float:
             self._check_float_operand(index, instr, instr.value, "return value")
         elif isinstance(instr.value, ir.VReg) and instr.value.is_float:
-            self.report(index, instr, "float register returned from an integer function")
+            self.report(
+                index, instr, "float register returned from an integer function"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -676,7 +678,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--verbose", action="store_true", help="print per-case status")
     args = parser.parse_args(argv)
 
-    opt_levels = [level.strip() for level in args.opt_levels.split(",") if level.strip()]
+    opt_levels = [
+        level.strip() for level in args.opt_levels.split(",") if level.strip()
+    ]
     failures: List[str] = []
     checked = 0
 
@@ -711,7 +715,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(case.source)
             checked += 1
             if not args.verbose and checked % 100 == 0:
-                print(f"  {checked}/{args.count if not args.sources else checked} verified")
+                print(
+                    f"  {checked}/"
+                    f"{args.count if not args.sources else checked} verified"
+                )
 
     if failures:
         print(

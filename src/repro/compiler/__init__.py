@@ -26,7 +26,9 @@ import importlib
 from typing import List
 
 #: Names re-exported from :mod:`repro.compiler.driver`.
-_DRIVER_EXPORTS = ("compile_function", "compile_program", "CompiledFunction", "CompileError")
+_DRIVER_EXPORTS = (
+    "compile_function", "compile_program", "CompiledFunction", "CompileError"
+)
 
 #: Submodules reachable as attributes (``repro.compiler.opt`` etc.).
 _SUBMODULES = ("arm", "driver", "ir", "lowering", "opt", "regalloc", "x86")

@@ -79,7 +79,9 @@ class ArmBackend:
         global_sizes: Dict[str, int],
         global_inits: Optional[Dict[str, ir.GlobalInit]] = None,
     ) -> str:
-        return _Emitter(func, allocation, string_literals, global_sizes, global_inits).emit()
+        return _Emitter(
+            func, allocation, string_literals, global_sizes, global_inits
+        ).emit()
 
 
 class _Emitter:
@@ -327,7 +329,10 @@ class _Emitter:
             self._add_imm("x9", "sp", self.slot_offsets[instr.slot])
             self.write_int("x9", instr.dst)
         elif isinstance(instr, ir.IRGlobalAddr):
-            if instr.symbol not in self.string_literals and instr.symbol not in self.used_globals:
+            if (
+                instr.symbol not in self.string_literals
+                and instr.symbol not in self.used_globals
+            ):
                 self.used_globals.append(instr.symbol)
             self.op(f"adrp\tx9, {instr.symbol}")
             self.op(f"add\tx9, x9, :lo12:{instr.symbol}")
@@ -367,7 +372,9 @@ class _Emitter:
         if instr.is_float:
             self.read_float(instr.left, "d16")
             self.read_float(instr.right, "d17")
-            mnemonic = {"add": "fadd", "sub": "fsub", "mul": "fmul", "div": "fdiv"}[instr.op]
+            mnemonic = {"add": "fadd", "sub": "fsub", "mul": "fmul", "div": "fdiv"}[
+                instr.op
+            ]
             self.op(f"{mnemonic}\td16, d16, d17")
             self.write_float("d16", instr.dst)
             return
@@ -463,11 +470,20 @@ class _Emitter:
         if instr.size == 8:
             self.op("ldr\tx9, [x10]")
         elif instr.size == 4:
-            self.op(f"{'ldrsw' if instr.signed else 'ldr'}\t{'x9' if instr.signed else 'w9'}, [x10]")
+            self.op(
+                f"{'ldrsw' if instr.signed else 'ldr'}\t"
+                f"{'x9' if instr.signed else 'w9'}, [x10]"
+            )
         elif instr.size == 2:
-            self.op(f"{'ldrsh' if instr.signed else 'ldrh'}\t{'x9' if instr.signed else 'w9'}, [x10]")
+            self.op(
+                f"{'ldrsh' if instr.signed else 'ldrh'}\t"
+                f"{'x9' if instr.signed else 'w9'}, [x10]"
+            )
         else:
-            self.op(f"{'ldrsb' if instr.signed else 'ldrb'}\t{'x9' if instr.signed else 'w9'}, [x10]")
+            self.op(
+                f"{'ldrsb' if instr.signed else 'ldrb'}\t"
+                f"{'x9' if instr.signed else 'w9'}, [x10]"
+            )
         self.write_int("x9", instr.dst)
 
     def _emit_store(self, instr: ir.IRStore) -> None:
@@ -496,12 +512,16 @@ class _Emitter:
         for arg in instr.args:
             if self._is_float_operand(arg):
                 if float_index >= len(_FLOAT_ARGS):
-                    raise NotImplementedError("arm backend supports at most 8 FP arguments")
+                    raise NotImplementedError(
+                        "arm backend supports at most 8 FP arguments"
+                    )
                 self.read_float(arg, _FLOAT_ARGS[float_index])
                 float_index += 1
             else:
                 if int_index >= len(_INT_ARGS):
-                    raise NotImplementedError("arm backend supports at most 8 integer arguments")
+                    raise NotImplementedError(
+                        "arm backend supports at most 8 integer arguments"
+                    )
                 self.read_int(arg, _INT_ARGS[int_index])
                 int_index += 1
         self.op(f"bl\t{instr.name}")

@@ -66,14 +66,18 @@ class CompiledFunction:
 def _normalize_isa(isa: str) -> str:
     key = str(isa).strip().lower()
     if key not in _ISA_ALIASES:
-        raise CompileError(f"unknown ISA {isa!r}; expected one of {sorted(set(_ISA_ALIASES))}")
+        raise CompileError(
+            f"unknown ISA {isa!r}; expected one of {sorted(set(_ISA_ALIASES))}"
+        )
     return _ISA_ALIASES[key]
 
 
 def _normalize_opt(opt_level: Union[str, int]) -> str:
     key = str(opt_level).strip().lower()
     if key not in _OPT_ALIASES:
-        raise CompileError(f"unknown optimisation level {opt_level!r}; expected O0 or O3")
+        raise CompileError(
+            f"unknown optimisation level {opt_level!r}; expected O0 or O3"
+        )
     return _OPT_ALIASES[key]
 
 
@@ -345,7 +349,11 @@ def emit_from_lowered(
     )
     try:
         assembly = backend.emit_function(
-            ir_func, allocation, lowered.strings, lowered.global_sizes, lowered.global_inits
+            ir_func,
+            allocation,
+            lowered.strings,
+            lowered.global_sizes,
+            lowered.global_inits,
         )
     except NotImplementedError as exc:
         raise CompileError(f"{isa} backend error: {exc}") from exc

@@ -395,7 +395,9 @@ class IRFunction:
     next_vreg: int = 0
     next_label: int = 0
 
-    def new_vreg(self, is_float: bool = False, bits: int = 64, unsigned: bool = False) -> VReg:
+    def new_vreg(
+        self, is_float: bool = False, bits: int = 64, unsigned: bool = False
+    ) -> VReg:
         reg = VReg(self.next_vreg, is_float, 64 if is_float else bits, unsigned)
         self.next_vreg += 1
         return reg

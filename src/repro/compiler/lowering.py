@@ -44,7 +44,9 @@ _Location = Union[_RegisterLocation, _MemoryLocation]
 
 def _collect_address_taken(node: ast.Node, found: Set[str]) -> None:
     """Record names whose address is taken with ``&`` anywhere in ``node``."""
-    if isinstance(node, ast.UnaryOp) and node.op == "&" and isinstance(node.operand, ast.Identifier):
+    if isinstance(node, ast.UnaryOp) and node.op == "&" and isinstance(
+        node.operand, ast.Identifier
+    ):
         found.add(node.operand.name)
     for value in vars(node).values():
         if isinstance(value, ast.Node):
@@ -278,7 +280,9 @@ class Lowerer:
                 ir.IRStore(value, addr, 0, self._store_size(t), self._is_float(t))
             )
 
-    def _lower_initializer_list(self, location: _MemoryLocation, init: ast.InitializerList) -> None:
+    def _lower_initializer_list(
+        self, location: _MemoryLocation, init: ast.InitializerList
+    ) -> None:
         t = self.resolve(location.type)
         if isinstance(t, ct.ArrayType):
             elem = self.resolve(t.element)
@@ -422,7 +426,9 @@ class Lowerer:
         self.ir.emit(ir.IRConst(reg, operand))
         return reg
 
-    def _convert(self, value: ir.Operand, from_type: ct.CType, to_type: ct.CType) -> ir.Operand:
+    def _convert(
+        self, value: ir.Operand, from_type: ct.CType, to_type: ct.CType
+    ) -> ir.Operand:
         """Insert an int<->float or integer width/sign conversion when required."""
         src_float = self._is_float(from_type)
         dst_float = self._is_float(to_type)
@@ -521,7 +527,11 @@ class Lowerer:
         if isinstance(expr, ast.SizeOf):
             if expr.target_type is not None:
                 return self.resolve(expr.target_type).sizeof(), ct.ULONG
-            t = expr.operand.ctype if expr.operand is not None and expr.operand.ctype else ct.INT
+            t = (
+                expr.operand.ctype
+                if expr.operand is not None and expr.operand.ctype
+                else ct.INT
+            )
             return self.resolve(t).sizeof(), ct.ULONG
         raise LoweringError(f"cannot lower expression {type(expr).__name__}")
 
@@ -545,7 +555,14 @@ class Lowerer:
             bits, unsigned = self._width(gtype)
             dst = self.ir.new_vreg(self._is_float(gtype), bits, unsigned)
             self.ir.emit(
-                ir.IRLoad(dst, addr, 0, self._store_size(gtype), self._signed(gtype), self._is_float(gtype))
+                ir.IRLoad(
+                    dst,
+                    addr,
+                    0,
+                    self._store_size(gtype),
+                    self._signed(gtype),
+                    self._is_float(gtype),
+                )
             )
             return dst, gtype
         if expr.name in ("NULL", "false"):
@@ -591,7 +608,9 @@ class Lowerer:
         )
         return dst, t
 
-    def _store_location(self, location: _Location, value: ir.Operand, value_type: ct.CType) -> None:
+    def _store_location(
+        self, location: _Location, value: ir.Operand, value_type: ct.CType
+    ) -> None:
         if isinstance(location, _RegisterLocation):
             converted = self._convert(value, value_type, location.type)
             self.ir.emit(ir.IRMove(location.reg, converted))
@@ -635,7 +654,9 @@ class Lowerer:
             )
             index, _ = self._lower_expr(expr.index)
             if isinstance(index, (int, float)):
-                return _MemoryLocation(self._to_reg(base), int(index) * elem.sizeof(), elem)
+                return _MemoryLocation(
+                    self._to_reg(base), int(index) * elem.sizeof(), elem
+                )
             scaled = self.ir.new_vreg()
             self.ir.emit(ir.IRBinOp("mul", scaled, index, elem.sizeof()))
             addr = self.ir.new_vreg()
@@ -663,7 +684,9 @@ class Lowerer:
                 raise LoweringError(f"member access {expr.field_name!r} on non-struct")
             struct = self.structs.get(struct.tag, struct)
             if not struct.has_field(expr.field_name):
-                raise LoweringError(f"struct {struct.tag} has no field {expr.field_name!r}")
+                raise LoweringError(
+                    f"struct {struct.tag} has no field {expr.field_name!r}"
+                )
             return _MemoryLocation(
                 base_addr,
                 base_offset + struct.field_offset(expr.field_name),
@@ -709,7 +732,9 @@ class Lowerer:
             if is_float:
                 left = self._convert(left, left_type, ct.DOUBLE)
                 right = self._convert(right, right_type, ct.DOUBLE)
-            elif isinstance(left_type, ct.IntType) and isinstance(right_type, ct.IntType):
+            elif isinstance(left_type, ct.IntType) and isinstance(
+                right_type, ct.IntType
+            ):
                 # Compare in the common type, as C does: the conversions are
                 # what make mixed signed/unsigned comparisons well defined.
                 common = ct.usual_arithmetic_conversion(
@@ -731,13 +756,17 @@ class Lowerer:
             raise LoweringError(f"unsupported binary operator {op!r}")
 
         # Pointer arithmetic scaling.
-        if op in ("+", "-") and isinstance(left_type, ct.PointerType) and not isinstance(
-            right_type, ct.PointerType
+        if (
+            op in ("+", "-")
+            and isinstance(left_type, ct.PointerType)
+            and not isinstance(right_type, ct.PointerType)
         ):
             step = max(1, self.resolve(left_type.pointee).sizeof())
             right = self._scale(right, step)
             dst = self.ir.new_vreg()
-            self.ir.emit(ir.IRBinOp(self._BINOP_MAP[op], dst, self._to_reg(left), right))
+            self.ir.emit(
+                ir.IRBinOp(self._BINOP_MAP[op], dst, self._to_reg(left), right)
+            )
             return dst, left_type
         if op == "+" and isinstance(right_type, ct.PointerType) and not isinstance(
             left_type, ct.PointerType
@@ -764,8 +793,12 @@ class Lowerer:
             result_type = ct.integer_promote(left_type)
         else:
             result_type = ct.usual_arithmetic_conversion(
-                ct.integer_promote(left_type) if left_type.is_arithmetic() else left_type,
-                ct.integer_promote(right_type) if right_type.is_arithmetic() else right_type,
+                ct.integer_promote(left_type)
+                if left_type.is_arithmetic()
+                else left_type,
+                ct.integer_promote(right_type)
+                if right_type.is_arithmetic()
+                else right_type,
             )
         is_float = self._is_float(result_type)
         left = self._convert(left, left_type, result_type)
@@ -823,7 +856,9 @@ class Lowerer:
             if location.offset == 0:
                 return location.addr, ct.PointerType(location.type)
             dst = self.ir.new_vreg()
-            self.ir.emit(ir.IRBinOp("add", dst, self._to_reg(location.addr), location.offset))
+            self.ir.emit(
+                ir.IRBinOp("add", dst, self._to_reg(location.addr), location.offset)
+            )
             return dst, ct.PointerType(location.type)
         if expr.op == "*":
             location = self._lower_lvalue(expr)
@@ -845,14 +880,18 @@ class Lowerer:
             value = self._convert(value, vtype, result_type)
             bits, unsigned = self._width(result_type)
             dst = self.ir.new_vreg(False, bits, unsigned)
-            self.ir.emit(ir.IRUnary("neg", dst, self._to_reg(value), False, bits, unsigned))
+            self.ir.emit(
+                ir.IRUnary("neg", dst, self._to_reg(value), False, bits, unsigned)
+            )
             return dst, result_type
         if expr.op == "~":
             result_type = ct.integer_promote(vtype) if vtype.is_integer() else ct.INT
             value = self._convert(value, vtype, result_type)
             bits, unsigned = self._width(result_type)
             dst = self.ir.new_vreg(False, bits, unsigned)
-            self.ir.emit(ir.IRUnary("not", dst, self._to_reg(value), False, bits, unsigned))
+            self.ir.emit(
+                ir.IRUnary("not", dst, self._to_reg(value), False, bits, unsigned)
+            )
             return dst, result_type
         if expr.op == "!":
             dst = self.ir.new_vreg(False, 32)
@@ -860,7 +899,9 @@ class Lowerer:
             return dst, ct.INT
         raise LoweringError(f"unsupported unary operator {expr.op!r}")
 
-    def _lower_incdec(self, target: ast.Expr, op: str, postfix: bool) -> Tuple[ir.Operand, ct.CType]:
+    def _lower_incdec(self, target: ast.Expr, op: str, postfix: bool) -> Tuple[
+        ir.Operand, ct.CType
+    ]:
         location = self._lower_lvalue(target)
         current, t = self._load_location_or_reg(location)
         t = self.resolve(t)
@@ -902,7 +943,9 @@ class Lowerer:
     def _lower_assignment(self, expr: ast.Assignment) -> Tuple[ir.Operand, ct.CType]:
         location = self._lower_lvalue(expr.target)
         target_type = self.resolve(
-            location.type if isinstance(location, (_RegisterLocation, _MemoryLocation)) else ct.INT
+            location.type if isinstance(
+                location, (_RegisterLocation, _MemoryLocation)
+            ) else ct.INT
         )
         if expr.op == "=":
             value, vtype = self._lower_expr(expr.value)
@@ -929,7 +972,9 @@ class Lowerer:
             current = self._convert(current, target_type, op_type)
         else:
             op_type = ct.usual_arithmetic_conversion(
-                ct.integer_promote(target_type) if target_type.is_arithmetic() else target_type,
+                ct.integer_promote(target_type)
+                if target_type.is_arithmetic()
+                else target_type,
                 ct.integer_promote(vtype) if vtype.is_arithmetic() else vtype,
             )
             current = self._convert(current, target_type, op_type)
@@ -965,11 +1010,15 @@ class Lowerer:
         is_float = self._is_float(result_type)
         bits, unsigned = self._width(result_type)
         result = self.ir.new_vreg(is_float, bits, unsigned)
-        self.ir.emit(ir.IRMove(result, self._convert(then_value, then_type, result_type)))
+        self.ir.emit(
+            ir.IRMove(result, self._convert(then_value, then_type, result_type))
+        )
         self.ir.emit(ir.IRJump(end_label))
         self.ir.emit(ir.IRLabel(else_label))
         else_value, else_type = self._lower_expr(expr.otherwise)
-        self.ir.emit(ir.IRMove(result, self._convert(else_value, else_type, result_type)))
+        self.ir.emit(
+            ir.IRMove(result, self._convert(else_value, else_type, result_type))
+        )
         self.ir.emit(ir.IRLabel(end_label))
         return result, result_type
 
@@ -983,7 +1032,9 @@ class Lowerer:
         for index, arg in enumerate(expr.args):
             value, vtype = self._lower_expr(arg)
             if ftype is not None and index < len(ftype.param_types):
-                value = self._convert(value, vtype, ct.decay(self.resolve(ftype.param_types[index])))
+                value = self._convert(
+                    value, vtype, ct.decay(self.resolve(ftype.param_types[index]))
+                )
             args.append(value)
         if ct.is_void(return_type):
             self.ir.emit(ir.IRCall(None, name, args))

@@ -16,7 +16,6 @@ The -O0 pipeline applies none of these.
 
 from __future__ import annotations
 
-import copy
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.compiler import ir
@@ -36,17 +35,25 @@ def fold_constants_expr(expr: ast.Expr) -> ast.Expr:
     if isinstance(expr, ast.BinaryOp):
         expr.left = fold_constants_expr(expr.left)
         expr.right = fold_constants_expr(expr.right)
-        if isinstance(expr.left, ast.IntLiteral) and isinstance(expr.right, ast.IntLiteral):
+        if isinstance(expr.left, ast.IntLiteral) and isinstance(
+            expr.right, ast.IntLiteral
+        ):
             bits, unsigned = _fold_width(expr)
-            folded = _fold_int(expr.op, expr.left.value, expr.right.value, bits, unsigned)
+            folded = _fold_int(
+                expr.op, expr.left.value, expr.right.value, bits, unsigned
+            )
             if folded is not None:
                 return ast.IntLiteral(folded)
         if isinstance(expr.left, (ast.IntLiteral, ast.FloatLiteral)) and isinstance(
             expr.right, (ast.IntLiteral, ast.FloatLiteral)
         ):
-            folded_f = _fold_float(expr.op, float(expr.left.value), float(expr.right.value))
+            folded_f = _fold_float(
+                expr.op, float(expr.left.value), float(expr.right.value)
+            )
             if folded_f is not None and (
-                isinstance(expr.left, ast.FloatLiteral) or isinstance(expr.right, ast.FloatLiteral)
+                isinstance(expr.left, ast.FloatLiteral) or isinstance(
+                    expr.right, ast.FloatLiteral
+                )
             ):
                 return ast.FloatLiteral(folded_f)
         return expr
@@ -68,7 +75,10 @@ def fold_constants_expr(expr: ast.Expr) -> ast.Expr:
             setattr(
                 expr,
                 name,
-                [fold_constants_expr(v) if isinstance(v, ast.Expr) else v for v in value],
+                [
+                    fold_constants_expr(v) if isinstance(v, ast.Expr) else v
+                    for v in value
+                ],
             )
     return expr
 
@@ -200,16 +210,20 @@ def _contains_jump(node: ast.Node) -> bool:
 
 def _substitute_var(node: ast.Node, name: str, replacement: ast.Expr) -> ast.Node:
     """Return a deep copy of ``node`` with uses of ``name`` replaced."""
-    node = copy.deepcopy(node)
+    node = ast.clone(node)
 
     def rewrite(n: ast.Node) -> ast.Node:
         if isinstance(n, ast.Identifier) and n.name == name:
-            return copy.deepcopy(replacement)
+            return ast.clone(replacement)
         for attr, value in vars(n).items():
             if isinstance(value, ast.Node):
                 setattr(n, attr, rewrite(value))
             elif isinstance(value, list):
-                setattr(n, attr, [rewrite(v) if isinstance(v, ast.Node) else v for v in value])
+                setattr(
+                    n,
+                    attr,
+                    [rewrite(v) if isinstance(v, ast.Node) else v for v in value],
+                )
         return n
 
     return rewrite(node)
@@ -220,7 +234,9 @@ def _loop_induction(stmt: ast.For) -> Optional[str]:
     ``for (i = <start>; i < <limit>; i++)`` shape."""
     if isinstance(stmt.init, ast.Declaration):
         name = stmt.init.name
-    elif isinstance(stmt.init, ast.ExprStmt) and isinstance(stmt.init.expr, ast.Assignment):
+    elif isinstance(stmt.init, ast.ExprStmt) and isinstance(
+        stmt.init.expr, ast.Assignment
+    ):
         target = stmt.init.expr.target
         if not isinstance(target, ast.Identifier) or stmt.init.expr.op != "=":
             return None
@@ -290,18 +306,20 @@ def unroll_loops(stmt: ast.Stmt, factor: int = UNROLL_FACTOR) -> ast.Stmt:
     index = ast.Identifier(name)
     main_cond = ast.BinaryOp(
         stmt.cond.op,  # type: ignore[union-attr]
-        ast.BinaryOp("+", copy.deepcopy(index), ast.IntLiteral(factor - 1)),
-        copy.deepcopy(limit),
+        ast.BinaryOp("+", ast.clone(index), ast.IntLiteral(factor - 1)),
+        ast.clone(limit),
     )
-    main_step = ast.Assignment("+=", copy.deepcopy(index), ast.IntLiteral(factor))
+    main_step = ast.Assignment("+=", ast.clone(index), ast.IntLiteral(factor))
     bodies: List[ast.Stmt] = []
     for offset in range(factor):
         replacement: ast.Expr
         if offset == 0:
-            replacement = copy.deepcopy(index)
+            replacement = ast.clone(index)
         else:
-            replacement = ast.BinaryOp("+", copy.deepcopy(index), ast.IntLiteral(offset))
-        bodies.append(_substitute_var(stmt.body, name, replacement))  # type: ignore[arg-type]
+            replacement = ast.BinaryOp("+", ast.clone(index), ast.IntLiteral(offset))
+        bodies.append(
+            _substitute_var(stmt.body, name, replacement)  # type: ignore[arg-type]
+        )
     # Hoist a declaration out of the init so the induction variable stays in
     # scope for the remainder loop.
     prelude: List[ast.Stmt] = []
@@ -312,16 +330,18 @@ def unroll_loops(stmt: ast.Stmt, factor: int = UNROLL_FACTOR) -> ast.Stmt:
     main_loop = ast.For(main_init, main_cond, main_step, ast.Block(bodies))
     remainder = ast.For(
         None,
-        copy.deepcopy(stmt.cond),
-        copy.deepcopy(stmt.step),
-        copy.deepcopy(stmt.body),
+        ast.clone(stmt.cond),
+        ast.clone(stmt.step),
+        ast.clone(stmt.body),
     )
     return ast.Block(prelude + [main_loop, remainder])
 
 
-def optimize_function_ast(func: ast.FunctionDef, unroll: bool = True) -> ast.FunctionDef:
+def optimize_function_ast(
+    func: ast.FunctionDef, unroll: bool = True
+) -> ast.FunctionDef:
     """Apply the AST-level -O3 transformations to a (deep copy of a) function."""
-    func = copy.deepcopy(func)
+    func = ast.clone(func)
     if func.body is None:
         return func
     fold_constants_stmt(func.body)
@@ -346,8 +366,14 @@ def _block_boundaries(instrs: List[ir.IRInstr]) -> List[int]:
     return sorted(s for s in starts if s < len(instrs))
 
 
-def local_fold_and_propagate(func: ir.IRFunction) -> None:
-    """Per-block constant folding, copy propagation and strength reduction."""
+def local_fold_and_propagate(func: ir.IRFunction) -> bool:
+    """Per-block constant folding, copy propagation and strength reduction.
+
+    Returns True when the function was modified (the pipeline driver uses
+    this to stop iterating once a round converges and to skip re-verifying
+    an unchanged function).
+    """
+    changed = False
     instrs = func.instrs
     starts = set(_block_boundaries(instrs))
     constants: Dict[ir.VReg, Union[int, float]] = {}
@@ -374,6 +400,7 @@ def local_fold_and_propagate(func: ir.IRFunction) -> None:
                 mapping[used] = copies[used]
         if mapping:
             instr.replace_uses(mapping)
+            changed = True
 
         for defined in instr.defs():
             invalidate(defined)
@@ -391,28 +418,34 @@ def local_fold_and_propagate(func: ir.IRFunction) -> None:
                 new_instrs.append(folded)
                 if isinstance(folded, ir.IRConst):
                     constants[folded.dst] = folded.value
+                changed = True
                 continue
-            _strength_reduce(instr)
+            changed = _strength_reduce(instr) or changed
         elif isinstance(instr, ir.IRCmp):
             folded_cmp = _fold_ir_cmp(instr)
             if folded_cmp is not None:
                 new_instrs.append(folded_cmp)
                 constants[folded_cmp.dst] = folded_cmp.value
+                changed = True
                 continue
         elif isinstance(instr, ir.IRCast):
             folded_cast = _fold_ir_cast(instr)
             if folded_cast is not None:
                 new_instrs.append(folded_cast)
                 constants[folded_cast.dst] = folded_cast.value
+                changed = True
                 continue
         new_instrs.append(instr)
     func.instrs = new_instrs
+    return changed
 
 
 def _fold_ir_binop(instr: ir.IRBinOp) -> Optional[ir.IRInstr]:
     if isinstance(instr.left, (int, float)) and isinstance(instr.right, (int, float)):
         if instr.is_float:
-            value = _fold_float(_IR_TO_C[instr.op], float(instr.left), float(instr.right))
+            value = _fold_float(
+                _IR_TO_C[instr.op], float(instr.left), float(instr.right)
+            )
         else:
             # Fold at the instruction's annotated width so the constant
             # matches what the backend's 32-bit instruction would compute.
@@ -460,7 +493,9 @@ def _fold_ir_cast(instr: ir.IRCast) -> Optional[ir.IRConst]:
     """Fold integer width casts of constants into their extended value."""
     if instr.kind in ir.WIDTH_CASTS and isinstance(instr.src, int):
         bits, unsigned = ir.WIDTH_CASTS[instr.kind]
-        return ir.IRConst(instr.dst, ct.int_type_for_bits(bits, unsigned).wrap(instr.src))
+        return ir.IRConst(
+            instr.dst, ct.int_type_for_bits(bits, unsigned).wrap(instr.src)
+        )
     return None
 
 
@@ -478,18 +513,25 @@ _IR_TO_C = {
 }
 
 
-def _strength_reduce(instr: ir.IRBinOp) -> None:
+def _strength_reduce(instr: ir.IRBinOp) -> bool:
     """Rewrite multiplications/divisions by powers of two into shifts."""
     if instr.is_float:
-        return
-    if isinstance(instr.right, int) and instr.right > 1 and (instr.right & (instr.right - 1)) == 0:
+        return False
+    if (
+        isinstance(instr.right, int)
+        and instr.right > 1
+        and (instr.right & (instr.right - 1)) == 0
+    ):
         shift = instr.right.bit_length() - 1
         if instr.op == "mul":
             instr.op = "shl"
             instr.right = shift
+            return True
         elif instr.op == "div" and instr.unsigned:
             instr.op = "shr"
             instr.right = shift
+            return True
+    return False
 
 
 def _referenced_labels(func: ir.IRFunction) -> Set[str]:
@@ -503,33 +545,64 @@ def _referenced_labels(func: ir.IRFunction) -> Set[str]:
     return referenced
 
 
-def dead_code_elimination(func: ir.IRFunction) -> None:
-    """Remove pure instructions whose results (or labels) are never used."""
-    changed = True
-    while changed:
-        changed = False
-        used: Set[ir.VReg] = set()
-        for instr in func.instrs:
-            used.update(instr.uses())
-        referenced = _referenced_labels(func)
-        kept: List[ir.IRInstr] = []
-        for instr in func.instrs:
-            if isinstance(instr, ir.IRLabel) and instr.name not in referenced:
-                changed = True
-                continue
-            removable = isinstance(
-                instr, (ir.IRConst, ir.IRMove, ir.IRBinOp, ir.IRCmp, ir.IRUnary, ir.IRCast,
-                        ir.IRFrameAddr, ir.IRGlobalAddr, ir.IRLoad)
-            )
-            defs = instr.defs()
-            if removable and defs and not any(d in used for d in defs):
-                changed = True
-                continue
-            kept.append(instr)
-        func.instrs = kept
+_REMOVABLE_INSTRS = (
+    ir.IRConst, ir.IRMove, ir.IRBinOp, ir.IRCmp, ir.IRUnary, ir.IRCast,
+    ir.IRFrameAddr, ir.IRGlobalAddr, ir.IRLoad,
+)
 
 
-def remove_redundant_jumps(func: ir.IRFunction) -> None:
+def dead_code_elimination(func: ir.IRFunction) -> bool:
+    """Remove pure instructions whose results (or labels) are never used.
+
+    Worklist formulation of the obvious fixpoint: removing a dead
+    instruction decrements the use counts of its operands, which may in
+    turn make the instructions defining those operands dead.  The surviving
+    instruction sequence is identical to iterating global remove-unused
+    sweeps to fixpoint (labels only ever die in the first sweep, because
+    DCE never removes the jumps that reference them).
+    """
+    instrs = func.instrs
+    referenced = _referenced_labels(func)
+    use_count: Dict[ir.VReg, int] = {}
+    defs_of: Dict[ir.VReg, List[int]] = {}
+    for index, instr in enumerate(instrs):
+        for used in instr.uses():
+            use_count[used] = use_count.get(used, 0) + 1
+        for defined in instr.defs():
+            defs_of.setdefault(defined, []).append(index)
+
+    def is_dead(index: int) -> bool:
+        instr = instrs[index]
+        if not isinstance(instr, _REMOVABLE_INSTRS):
+            return False
+        defs = instr.defs()
+        return bool(defs) and not any(use_count.get(d, 0) for d in defs)
+
+    dead = [False] * len(instrs)
+    work: List[int] = []
+    for index, instr in enumerate(instrs):
+        if isinstance(instr, ir.IRLabel) and instr.name not in referenced:
+            dead[index] = True
+        elif is_dead(index):
+            work.append(index)
+    while work:
+        index = work.pop()
+        if dead[index] or not is_dead(index):
+            continue
+        dead[index] = True
+        for used in instrs[index].uses():
+            use_count[used] -= 1
+            if use_count[used] == 0:
+                for def_index in defs_of.get(used, ()):
+                    if not dead[def_index] and is_dead(def_index):
+                        work.append(def_index)
+    if not any(dead):
+        return False
+    func.instrs = [instr for index, instr in enumerate(instrs) if not dead[index]]
+    return True
+
+
+def remove_redundant_jumps(func: ir.IRFunction) -> bool:
     """Drop jumps whose target is reached by falling through.
 
     A jump is redundant when its target label follows it with only other
@@ -549,7 +622,10 @@ def remove_redundant_jumps(func: ir.IRFunction) -> None:
             if redundant:
                 continue
         kept.append(instr)
+    if len(kept) == len(func.instrs):
+        return False
     func.instrs = kept
+    return True
 
 
 def optimize_ir(func: ir.IRFunction, after_pass=None) -> None:
@@ -559,16 +635,31 @@ def optimize_ir(func: ir.IRFunction, after_pass=None) -> None:
     individual pass with a label like ``"local_fold_and_propagate[1]"`` — the
     IR verifier uses it to attribute an invariant violation to the exact pass
     that introduced it.
+
+    Each pass reports whether it modified the function; a pass that changed
+    nothing skips its ``after_pass`` callback (re-verifying an unchanged
+    function cannot produce new diagnostics) and a fold+DCE round in which
+    neither pass changed anything ends the iteration (the pipeline is at a
+    fixpoint: the passes are deterministic, so a further round would be a
+    no-op too).  The emitted IR is byte-identical to always running every
+    round.
     """
 
-    def _run(pass_fn, label: str) -> None:
-        pass_fn(func)
-        if after_pass is not None:
+    def _run(pass_fn, label: str) -> bool:
+        changed = pass_fn(func)
+        if changed and after_pass is not None:
             after_pass(label)
+        return changed
 
     for round_index in range(3):
-        _run(local_fold_and_propagate, f"local_fold_and_propagate[{round_index}]")
-        _run(dead_code_elimination, f"dead_code_elimination[{round_index}]")
+        changed = _run(
+            local_fold_and_propagate, f"local_fold_and_propagate[{round_index}]"
+        )
+        changed = _run(
+            dead_code_elimination, f"dead_code_elimination[{round_index}]"
+        ) or changed
+        if not changed:
+            break
     _run(remove_redundant_jumps, "remove_redundant_jumps")
     # Jump removal can leave labels with no remaining references behind;
     # re-running DCE prunes them.

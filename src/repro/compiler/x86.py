@@ -90,7 +90,9 @@ class X86Backend:
         global_sizes: Dict[str, int],
         global_inits: Optional[Dict[str, ir.GlobalInit]] = None,
     ) -> str:
-        return _Emitter(func, allocation, string_literals, global_sizes, global_inits).emit()
+        return _Emitter(
+            func, allocation, string_literals, global_sizes, global_inits
+        ).emit()
 
 
 class _Emitter:
@@ -280,7 +282,9 @@ class _Emitter:
             self.label(instr.name)
         elif isinstance(instr, ir.IRConst):
             if instr.dst.is_float:
-                self.write_float(self.read_float(float(instr.value), "%xmm14"), instr.dst)
+                self.write_float(
+                    self.read_float(float(instr.value), "%xmm14"), instr.dst
+                )
             else:
                 self.write_int(self.read_int(int(instr.value), "%r10"), instr.dst)
         elif isinstance(instr, ir.IRMove):
@@ -304,7 +308,10 @@ class _Emitter:
             self.op(f"leaq\t{self._slot_addr(instr.slot)}, %r10")
             self.write_int("%r10", instr.dst)
         elif isinstance(instr, ir.IRGlobalAddr):
-            if instr.symbol not in self.string_literals and instr.symbol not in self.used_globals:
+            if (
+                instr.symbol not in self.string_literals
+                and instr.symbol not in self.used_globals
+            ):
                 self.used_globals.append(instr.symbol)
             self.op(f"leaq\t{instr.symbol}(%rip), %r10")
             self.write_int("%r10", instr.dst)
@@ -344,7 +351,9 @@ class _Emitter:
         if instr.is_float:
             self.read_float(instr.left, "%xmm14")
             self.read_float(instr.right, "%xmm15")
-            mnemonic = {"add": "addsd", "sub": "subsd", "mul": "mulsd", "div": "divsd"}[instr.op]
+            mnemonic = {"add": "addsd", "sub": "subsd", "mul": "mulsd", "div": "divsd"}[
+                instr.op
+            ]
             self.op(f"{mnemonic}\t%xmm15, %xmm14")
             self.write_float("%xmm14", instr.dst)
             return

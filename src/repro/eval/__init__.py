@@ -56,7 +56,9 @@ def __getattr__(name: str):
         from repro.eval import mutate
 
         return getattr(mutate, name)
-    if name in ("CandidateScore", "score_candidates", "score_dataset", "edit_similarity"):
+    if name in (
+        "CandidateScore", "score_candidates", "score_dataset", "edit_similarity"
+    ):
         from repro.eval import score
 
         return getattr(score, name)

@@ -74,7 +74,9 @@ _WRONG_OP: Dict[str, str] = {
 #: IntType -> the same width with flipped signedness.
 _FLIPPED_SIGN: Dict[Tuple[int, bool], ct.IntType] = {
     (t.rank, t.unsigned): t
-    for t in (ct.CHAR, ct.UCHAR, ct.SHORT, ct.USHORT, ct.INT, ct.UINT, ct.LONG, ct.ULONG)
+    for t in (
+        ct.CHAR, ct.UCHAR, ct.SHORT, ct.USHORT, ct.INT, ct.UINT, ct.LONG, ct.ULONG
+    )
 }
 
 
@@ -315,7 +317,9 @@ def _mut_drop_cast(program: ast.Program, func: ast.FunctionDef, rng: random.Rand
     return f"dropped cast to {cast.target_type}"
 
 
-def _mut_flip_signedness(program: ast.Program, func: ast.FunctionDef, rng: random.Random):
+def _mut_flip_signedness(
+    program: ast.Program, func: ast.FunctionDef, rng: random.Random
+):
     decls = _int_decl_slots(func)
     casts = [
         node
@@ -335,7 +339,9 @@ def _mut_flip_signedness(program: ast.Program, func: ast.FunctionDef, rng: rando
     return f"cast signedness -> {flipped}"
 
 
-def _mut_negate_condition(program: ast.Program, func: ast.FunctionDef, rng: random.Random):
+def _mut_negate_condition(
+    program: ast.Program, func: ast.FunctionDef, rng: random.Random
+):
     sites = [
         node
         for node in _walk_nodes(func)
@@ -412,7 +418,9 @@ def _invalid_parse(source: str, rng: random.Random) -> Tuple[str, str]:
     return source[: brace + 1] + "\n    @@@\n" + source[brace + 1 :], "garbage token"
 
 
-def _invalid_type(program: ast.Program, func: ast.FunctionDef, rng: random.Random) -> str:
+def _invalid_type(
+    program: ast.Program, func: ast.FunctionDef, rng: random.Random
+) -> str:
     assert func.body is not None
     if rng.random() < 0.5:
         # Dereferencing an integer literal is a hard type error.

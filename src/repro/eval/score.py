@@ -13,13 +13,18 @@ normalized token-level edit similarity to the reference source rides along
 as the secondary metric (the "how close did it look" number the paper
 contrasts IO accuracy with).
 
-Execution is batched by construction: the N candidates of one function are
-exactly one :class:`repro.testing.native.NativeBatch` — one toolchain
-invocation and one subprocess per function instead of per candidate, the
-same machinery (and therefore byte-identical verdicts) as the fuzzing
-pipeline's batch path.  ``--no-batch`` runs each survivor through its own
-:class:`NativeFunction` as the parity reference, and ``--check-parity``
-asserts the two reports are byte-identical.
+Execution is batched by construction, *across functions*: gate survivors
+from many functions are grouped into shared
+:class:`repro.testing.native.NativeBatch` fork-server builds (one
+toolchain invocation per ~32 candidates instead of per candidate or per
+function), the same machinery — and therefore byte-identical verdicts —
+as the fuzzing pipeline's batch path.  ``--jobs N`` shards functions
+round-robin over worker processes; verdicts depend only on each
+function's seed, so reports are byte-identical at any job count.
+``--no-fork-server`` keeps the batches but executes them through the
+one-subprocess-per-leg harness; ``--no-batch`` runs each survivor through
+its own :class:`NativeFunction`.  ``--check-parity`` scores on every
+available path and asserts all reports are byte-identical.
 
 Without a native toolchain (or with ``--backend none``) survivors execute
 on the interpreter instead; the front-end gauntlet, including real
@@ -38,11 +43,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import subprocess
 import sys
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -66,9 +73,12 @@ from repro.testing.frontend import CaseContext
 # ---------------------------------------------------------------------------
 
 
-def _token_texts(source: str) -> Optional[List[str]]:
+@lru_cache(maxsize=512)
+def _token_texts(source: str) -> Optional[Tuple[str, ...]]:
+    # Cached because every candidate is compared against the same reference
+    # source; callers only read the returned tuple.
     try:
-        return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+        return tuple(t.text for t in tokenize(source) if t.kind is not TokenKind.EOF)
     except LexError:
         return None
 
@@ -78,14 +88,42 @@ def _levenshtein(a: Sequence, b: Sequence) -> int:
         return len(b)
     if not b:
         return len(a)
+    # Mutation-derived candidates differ from their reference in a small
+    # region, so stripping the common prefix/suffix first removes most of
+    # the O(len(a) * len(b)) table (the distance is unchanged: edits only
+    # happen where the sequences differ).
+    start = 0
+    limit = min(len(a), len(b))
+    while start < limit and a[start] == b[start]:
+        start += 1
+    end_a, end_b = len(a), len(b)
+    while end_a > start and end_b > start and a[end_a - 1] == b[end_b - 1]:
+        end_a -= 1
+        end_b -= 1
+    a = a[start:end_a]
+    b = b[start:end_b]
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
     previous = list(range(len(b) + 1))
-    for i, item_a in enumerate(a, start=1):
-        current = [i]
-        for j, item_b in enumerate(b, start=1):
-            cost = 0 if item_a == item_b else 1
-            current.append(
-                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
-            )
+    for row, item_a in enumerate(a):
+        diagonal = previous[0]
+        value = row + 1
+        current = [value]
+        append = current.append
+        index = 0
+        for item_b in b:
+            index += 1
+            above = previous[index]
+            best = diagonal if item_a == item_b else diagonal + 1
+            if above + 1 < best:
+                best = above + 1
+            if value + 1 < best:
+                best = value + 1
+            value = best
+            append(value)
+            diagonal = above
         previous = current
     return previous[-1]
 
@@ -213,6 +251,76 @@ def _lint_trap_finding(context: CaseContext, name: str):
     return next((f for f in findings if f.predicts_trap), None)
 
 
+def _stage_candidates(
+    entry: DatasetEntry,
+    candidates: Sequence[Candidate],
+    backend: str,
+    opt_level: str,
+    lint: bool,
+) -> Tuple[List[CandidateScore], List[Tuple[int, CaseContext]]]:
+    """Front-end gate + lint pre-filter for one candidate set.
+
+    Returns the (partially filled) score list plus the execution survivors;
+    the staging is independent of how survivors later execute, which is what
+    keeps every execution path's report byte-identical.
+    """
+    fast_trap_sound = (
+        backend in ("x86", "none")
+        and opt_level == "O0"
+        and len(entry.inputs) > 0
+        and all(obs.status == "ok" for obs in entry.reference)
+    )
+    scores: List[CandidateScore] = []
+    survivors: List[Tuple[int, CaseContext]] = []
+    for index, candidate in enumerate(candidates):
+        gate = _front_end_gate(candidate.text, entry.name, backend, opt_level)
+        similarity = edit_similarity(candidate.text, entry.source)
+        if isinstance(gate, tuple):
+            verdict, detail = gate
+            scores.append(
+                CandidateScore(
+                    index, verdict, similarity, detail,
+                    candidate.kind, candidate.label, candidate.expected,
+                )
+            )
+            continue
+        score = CandidateScore(
+            index, "", similarity, "",
+            candidate.kind, candidate.label, candidate.expected,
+        )
+        if lint:
+            finding = _lint_trap_finding(gate, entry.name)
+            if finding is not None:
+                score.lint_flagged = True
+                if fast_trap_sound:
+                    score.verdict = "trap"
+                    score.detail = f"lint: {finding.message} [every call traps]"
+                    score.lint_prefilter = True
+                    scores.append(score)
+                    continue
+        scores.append(score)
+        survivors.append((index, gate))
+    return scores, survivors
+
+
+def _finalize_scores(
+    entry: DatasetEntry,
+    scores: List[CandidateScore],
+    survivors: List[Tuple[int, CaseContext]],
+    observations: List[Union[List[Observation], Tuple[str, str]]],
+) -> None:
+    for (index, _), obs in zip(survivors, observations):
+        if isinstance(obs, tuple):  # build failure: (verdict, detail)
+            # Merge into the placeholder so kind/label/expected survive
+            # and a certified candidate the toolchain rejects still
+            # counts against ground-truth agreement.
+            scores[index].verdict, scores[index].detail = obs
+            continue
+        verdict, detail = classify_observations(entry.reference, obs)
+        scores[index].verdict = verdict
+        scores[index].detail = detail
+
+
 def score_candidates(
     entry: DatasetEntry,
     candidates: Sequence[Candidate],
@@ -221,6 +329,7 @@ def score_candidates(
     use_batch: bool = True,
     workdir: Optional[Path] = None,
     lint: bool = True,
+    fork_server: bool = True,
 ) -> List[CandidateScore]:
     """Score one function's candidate set against its IO vectors.
 
@@ -248,57 +357,14 @@ def score_candidates(
     if workdir is None and backend != "none":
         tmp = tempfile.TemporaryDirectory(prefix="minic-eval-")
         workdir = Path(tmp.name)
-    fast_trap_sound = (
-        backend in ("x86", "none")
-        and opt_level == "O0"
-        and len(entry.inputs) > 0
-        and all(obs.status == "ok" for obs in entry.reference)
-    )
     try:
-        scores: List[CandidateScore] = []
-        survivors: List[Tuple[int, CaseContext]] = []
-        for index, candidate in enumerate(candidates):
-            gate = _front_end_gate(candidate.text, entry.name, backend, opt_level)
-            similarity = edit_similarity(candidate.text, entry.source)
-            if isinstance(gate, tuple):
-                verdict, detail = gate
-                scores.append(
-                    CandidateScore(
-                        index, verdict, similarity, detail,
-                        candidate.kind, candidate.label, candidate.expected,
-                    )
-                )
-                continue
-            score = CandidateScore(
-                index, "", similarity, "",
-                candidate.kind, candidate.label, candidate.expected,
-            )
-            if lint:
-                finding = _lint_trap_finding(gate, entry.name)
-                if finding is not None:
-                    score.lint_flagged = True
-                    if fast_trap_sound:
-                        score.verdict = "trap"
-                        score.detail = f"lint: {finding.message} [every call traps]"
-                        score.lint_prefilter = True
-                        scores.append(score)
-                        continue
-            scores.append(score)
-            survivors.append((index, gate))
-
-        observations = _execute_survivors(
-            entry, survivors, backend, opt_level, use_batch, workdir
+        scores, survivors = _stage_candidates(
+            entry, candidates, backend, opt_level, lint
         )
-        for (index, _), obs in zip(survivors, observations):
-            if isinstance(obs, tuple):  # build failure: (verdict, detail)
-                # Merge into the placeholder so kind/label/expected survive
-                # and a certified candidate the toolchain rejects still
-                # counts against ground-truth agreement.
-                scores[index].verdict, scores[index].detail = obs
-                continue
-            verdict, detail = classify_observations(entry.reference, obs)
-            scores[index].verdict = verdict
-            scores[index].detail = detail
+        observations = _execute_survivors(
+            entry, survivors, backend, opt_level, use_batch, workdir, fork_server
+        )
+        _finalize_scores(entry, scores, survivors, observations)
         return scores
     finally:
         if tmp is not None:
@@ -312,6 +378,7 @@ def _execute_survivors(
     opt_level: str,
     use_batch: bool,
     workdir: Optional[Path],
+    fork_server: bool = True,
 ) -> List[Union[List[Observation], Tuple[str, str]]]:
     """One observation list per survivor, or a (verdict, detail) failure."""
     if not survivors:
@@ -322,7 +389,9 @@ def _execute_survivors(
         ]
     assert workdir is not None
     if use_batch:
-        outcome = _execute_batch(entry, survivors, backend, opt_level, workdir)
+        outcome = _execute_batch(
+            entry, survivors, backend, opt_level, workdir, fork_server
+        )
         if outcome is not None:
             return outcome
         # Whole-batch build/run failure: fall back to the per-candidate
@@ -339,6 +408,7 @@ def _execute_batch(
     backend: str,
     opt_level: str,
     workdir: Path,
+    fork_server: bool = True,
 ) -> Optional[List[List[Observation]]]:
     cases = [
         native.BatchCase(
@@ -351,13 +421,20 @@ def _execute_batch(
     ]
     try:
         batch = native.NativeBatch(
-            cases, opt_level, workdir, isa=backend, tag=f"eval_{entry.uid}"
+            cases,
+            opt_level,
+            workdir,
+            isa=backend,
+            tag=f"eval_{entry.uid}",
+            fork_server=fork_server,
         )
         results: List[List[Observation]] = []
         for case_index in range(len(survivors)):
             results.append(
                 [
-                    _native_outcome_to_observation(batch.outcome(case_index, input_index))
+                    _native_outcome_to_observation(
+                        batch.outcome(case_index, input_index)
+                    )
                     for input_index in range(len(entry.inputs))
                 ]
             )
@@ -418,6 +495,145 @@ def _execute_single(
 # Whole-dataset scoring and the JSON report
 # ---------------------------------------------------------------------------
 
+#: Cap on gate survivors per cross-function native build.  Entries are
+#: never split across groups, so a group build/run failure can fall back
+#: to exactly the per-entry execution path.
+EVAL_GROUP_CASES = 32
+
+
+def _score_entries(
+    entries: Sequence[DatasetEntry],
+    candidate_sets: Sequence[Sequence[Candidate]],
+    backend: str = "x86",
+    opt_level: str = "O0",
+    use_batch: bool = True,
+    lint: bool = True,
+    fork_server: bool = True,
+) -> List[List[CandidateScore]]:
+    """One CandidateScore list per entry (the unit one ``--jobs`` worker runs).
+
+    On the batched native path, gate survivors from *many* functions share
+    one :class:`NativeBatch` (up to :data:`EVAL_GROUP_CASES` per group) so
+    the toolchain runs once per group instead of once per function, and the
+    next group's build is launched before the current group is drained.  A
+    group that fails to build or run falls back to the per-entry executor —
+    the same code the ungrouped scorer uses — so verdicts and their
+    attribution are identical on every path.
+    """
+    if backend == "none" or not use_batch:
+        return [
+            score_candidates(
+                entry,
+                candidates,
+                backend=backend,
+                opt_level=opt_level,
+                use_batch=use_batch,
+                lint=lint,
+                fork_server=fork_server,
+            )
+            for entry, candidates in zip(entries, candidate_sets)
+        ]
+
+    staged = [
+        _stage_candidates(entry, candidates, backend, opt_level, lint)
+        for entry, candidates in zip(entries, candidate_sets)
+    ]
+
+    # Whole entries, packed greedily up to the group cap (an entry larger
+    # than the cap gets a group of its own).
+    groups: List[List[int]] = []
+    current: List[int] = []
+    current_size = 0
+    for position, (_, survivors) in enumerate(staged):
+        if not survivors:
+            continue
+        if current and current_size + len(survivors) > EVAL_GROUP_CASES:
+            groups.append(current)
+            current, current_size = [], 0
+        current.append(position)
+        current_size += len(survivors)
+    if current:
+        groups.append(current)
+
+    with tempfile.TemporaryDirectory(prefix="minic-eval-") as tmp:
+        workdir = Path(tmp)
+
+        def make_batch(group_index: int) -> Optional[native.NativeBatch]:
+            cases = []
+            for position in groups[group_index]:
+                entry = entries[position]
+                for _, context in staged[position][1]:
+                    cases.append(
+                        native.BatchCase(
+                            source=context.source,
+                            name=entry.name,
+                            inputs=[tuple(args) for args in entry.inputs],
+                            context=context,
+                        )
+                    )
+            try:
+                return native.NativeBatch(
+                    cases,
+                    opt_level,
+                    workdir,
+                    isa=backend,
+                    tag=f"evalg{group_index}",
+                    fork_server=fork_server,
+                )
+            except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
+                return None
+
+        # One group of lookahead: constructing a NativeBatch launches its
+        # build asynchronously, so group N+1 compiles while N executes.
+        next_batch = make_batch(0) if groups else None
+        for group_index, positions in enumerate(groups):
+            batch = next_batch
+            next_batch = (
+                make_batch(group_index + 1) if group_index + 1 < len(groups) else None
+            )
+            outcomes: dict = {}
+            failed = batch is None
+            if batch is not None:
+                try:
+                    cursor = 0
+                    for position in positions:
+                        entry = entries[position]
+                        for survivor_index in range(len(staged[position][1])):
+                            outcomes[(position, survivor_index)] = [
+                                _native_outcome_to_observation(
+                                    batch.outcome(cursor, input_index)
+                                )
+                                for input_index in range(len(entry.inputs))
+                            ]
+                            cursor += 1
+                except (
+                    subprocess.CalledProcessError,
+                    subprocess.TimeoutExpired,
+                    native.BatchExecutionError,
+                    OSError,
+                ):
+                    failed = True
+            for position in positions:
+                entry = entries[position]
+                scores, survivors = staged[position]
+                if failed:
+                    observations = _execute_survivors(
+                        entry, survivors, backend, opt_level, True, workdir, fork_server
+                    )
+                else:
+                    observations = [
+                        outcomes[(position, survivor_index)]
+                        for survivor_index in range(len(survivors))
+                    ]
+                _finalize_scores(entry, scores, survivors, observations)
+
+    return [scores for scores, _ in staged]
+
+
+def _entries_worker(payload) -> List[List[CandidateScore]]:
+    entries, candidate_sets, kwargs = payload
+    return _score_entries(entries, candidate_sets, **kwargs)
+
 
 def score_dataset(
     entries: Sequence[DatasetEntry],
@@ -426,8 +642,43 @@ def score_dataset(
     opt_level: str = "O0",
     use_batch: bool = True,
     lint: bool = True,
+    fork_server: bool = True,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
-    """Score every entry's candidate set and build the aggregate report."""
+    """Score every entry's candidate set and build the aggregate report.
+
+    With ``jobs > 1`` the entries are striped round-robin over a process
+    pool; every verdict depends only on its entry, so the report is
+    byte-identical at any job count (which is why the job count is not
+    recorded in it).
+    """
+    score_kwargs = {
+        "backend": backend,
+        "opt_level": opt_level,
+        "use_batch": use_batch,
+        "lint": lint,
+        "fork_server": fork_server,
+    }
+    if jobs > 1 and len(entries) > 1:
+        workers = min(jobs, len(entries))
+        # An entry's cached CaseContext holds interpreter state (closures)
+        # that cannot cross the process boundary; scoring never reads it,
+        # so workers receive context-free copies.
+        portable = [replace(entry, context=None) for entry in entries]
+        shards = [
+            (list(portable[worker::workers]), list(candidate_sets[worker::workers]))
+            for worker in range(workers)
+        ]
+        payloads = [(shard, sets, score_kwargs) for shard, sets in shards]
+        with multiprocessing.Pool(processes=workers) as pool:
+            shard_scores = pool.map(_entries_worker, payloads)
+        all_scores: List[Optional[List[CandidateScore]]] = [None] * len(entries)
+        for worker, scores_list in enumerate(shard_scores):
+            for offset, scores in enumerate(scores_list):
+                all_scores[worker + offset * workers] = scores
+    else:
+        all_scores = list(_score_entries(entries, candidate_sets, **score_kwargs))
+
     functions: List[Dict[str, Any]] = []
     verdict_counts: Dict[str, int] = {}
     mismatches: List[Dict[str, Any]] = []
@@ -441,15 +692,8 @@ def score_dataset(
     lint_false_positives = 0
     labelled_traps = 0
 
-    for entry, candidates in zip(entries, candidate_sets):
-        scores = score_candidates(
-            entry,
-            candidates,
-            backend=backend,
-            opt_level=opt_level,
-            use_batch=use_batch,
-            lint=lint,
-        )
+    for entry, candidates, scores in zip(entries, candidate_sets, all_scores):
+        assert scores is not None
         for score in scores:
             verdict_counts[score.verdict] = verdict_counts.get(score.verdict, 0) + 1
             if score.lint_flagged:
@@ -519,6 +763,7 @@ def score_dataset(
             "backend": backend,
             "opt_level": opt_level,
             "batched": use_batch,
+            "fork_server": fork_server,
             "lint": lint,
         },
         "functions": functions,
@@ -595,10 +840,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execute candidates one binary at a time (the parity reference)",
     )
     parser.add_argument(
+        "--no-fork-server",
+        action="store_true",
+        help="execute batches through the one-subprocess-per-leg harness "
+        "instead of the persistent fork server (the parity reference)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; functions are sharded round-robin and the "
+        "report is byte-identical at any job count (default 1)",
+    )
+    parser.add_argument(
         "--check-parity",
         action="store_true",
-        help="score twice (batched and per-candidate) and fail unless the "
-        "two reports are byte-identical",
+        help="score on every execution path (fork-server batches, subprocess "
+        "batches, per-candidate) and fail unless all reports are "
+        "byte-identical",
     )
     parser.add_argument(
         "--no-lint",
@@ -650,27 +909,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         opt_level=args.opt_level,
         use_batch=not args.no_batch,
         lint=not args.no_lint,
+        fork_server=not args.no_fork_server,
+        jobs=max(1, args.jobs),
     )
     scored = time.time()
 
     parity_failed = False
     if args.check_parity:
-        reference = score_dataset(
-            entries,
-            candidate_sets,
-            backend=backend,
-            opt_level=args.opt_level,
-            use_batch=args.no_batch,  # the other path
-            lint=not args.no_lint,
-        )
-        # The two runs differ only in the recorded batching flag.
-        a = {**report, "config": {**report["config"], "batched": None}}
-        b = {**reference, "config": {**reference["config"], "batched": None}}
-        parity_failed = json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True)
-        print(
-            "parity: batched and per-candidate verdicts are "
-            + ("NOT byte-identical" if parity_failed else "byte-identical")
-        )
+        # Score again on every execution path the main run did not take;
+        # the runs may differ only in the recorded execution-path flags.
+        main_path = (not args.no_batch, not args.no_fork_server)
+        variants = [
+            (use_batch, fork_server)
+            for use_batch, fork_server in [(True, True), (True, False), (False, False)]
+            if (use_batch, fork_server) != main_path
+        ]
+
+        def _comparable(rep: Dict[str, Any]) -> str:
+            scrubbed = {
+                **rep,
+                "config": {**rep["config"], "batched": None, "fork_server": None},
+            }
+            return json.dumps(scrubbed, sort_keys=True)
+
+        for use_batch, fork_server in variants:
+            reference = score_dataset(
+                entries,
+                candidate_sets,
+                backend=backend,
+                opt_level=args.opt_level,
+                use_batch=use_batch,
+                lint=not args.no_lint,
+                fork_server=fork_server,
+            )
+            label = (
+                "fork-server batches" if use_batch and fork_server
+                else "subprocess batches" if use_batch
+                else "per-candidate"
+            )
+            mismatch = _comparable(report) != _comparable(reference)
+            parity_failed = parity_failed or mismatch
+            print(
+                f"parity vs {label}: "
+                + ("NOT byte-identical" if mismatch else "byte-identical")
+            )
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -698,7 +980,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"  top-1 by similarity: {aggregate['top1_by_similarity']:.1%}; "
         f"any-equivalent@N: "
-        + ", ".join(f"@{k}={v:.0%}" for k, v in aggregate["topk_any_equivalent"].items())
+        + ", ".join(
+            f"@{k}={v:.0%}" for k, v in aggregate["topk_any_equivalent"].items()
+        )
     )
     print(f"  throughput: {rate:.1f} candidates/s ({scored - built:.1f}s scoring)")
 

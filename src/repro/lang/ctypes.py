@@ -270,7 +270,9 @@ def usual_arithmetic_conversion(left: CType, right: CType) -> CType:
     if isinstance(left, IntType) and isinstance(right, IntType):
         if left.rank == right.rank:
             if left.unsigned or right.unsigned:
-                return IntType(left.kind if left.rank >= right.rank else right.kind, unsigned=True)
+                return IntType(
+                    left.kind if left.rank >= right.rank else right.kind, unsigned=True
+                )
             return left
         bigger = left if left.rank > right.rank else right
         # Promote to at least int.
@@ -315,7 +317,9 @@ def int_type_for_bits(bits: int, unsigned: bool = False) -> IntType:
     return _INT_TYPE_CACHE[(bits, unsigned)]
 
 
-def int_binop(op: str, left: int, right: int, bits: int = 64, unsigned: bool = False) -> int:
+def int_binop(
+    op: str, left: int, right: int, bits: int = 64, unsigned: bool = False
+) -> int:
     """Apply a C integer operator at a fixed width with wrapped semantics.
 
     This is the single source of truth shared by the interpreter

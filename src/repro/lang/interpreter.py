@@ -112,7 +112,9 @@ def read_typed(memory: Memory, addr: int, t: ct.CType) -> Union[int, float]:
     raise CInterpreterError(f"cannot read value of type {t}")
 
 
-def write_typed(memory: Memory, addr: int, value: Union[int, float], t: ct.CType) -> None:
+def write_typed(
+    memory: Memory, addr: int, value: Union[int, float], t: ct.CType
+) -> None:
     """Write a scalar of type ``t`` to memory."""
     if isinstance(t, ct.FloatType):
         memory.write_float(addr, float(value), t.sizeof())
@@ -311,7 +313,11 @@ class Interpreter:
             addr = self.memory.allocate(len(value) + 16)
             self.memory.write_cstring(addr, value)
             elem = self._resolve_type(ptype.pointee)
-            return addr, LValue(addr, ct.ArrayType(elem, len(value) + 1)), len(value) + 1
+            return (
+                addr,
+                LValue(addr, ct.ArrayType(elem, len(value) + 1)),
+                len(value) + 1,
+            )
         if isinstance(value, (list, tuple)) and isinstance(ptype, ct.PointerType):
             elem = self._resolve_type(ptype.pointee)
             if isinstance(elem, ct.VoidType):
@@ -333,7 +339,9 @@ class Interpreter:
             return ptype.wrap(int(value)), None, None
         return int(value) if not isinstance(value, float) else value, None, None
 
-    def _read_back_argument(self, backing: LValue, length: Optional[int], original: Any) -> Any:
+    def _read_back_argument(
+        self, backing: LValue, length: Optional[int], original: Any
+    ) -> Any:
         if isinstance(backing.type, ct.ArrayType):
             elem = backing.type.element
             count = length if length is not None else (backing.type.length or 0)
@@ -356,7 +364,9 @@ class Interpreter:
         if isinstance(t, ct.ArrayType) and isinstance(value, (list, tuple)):
             elem = t.element
             for index, item in enumerate(value):
-                self._store_python_value(LValue(lvalue.addr + index * elem.sizeof(), elem), item)
+                self._store_python_value(
+                    LValue(lvalue.addr + index * elem.sizeof(), elem), item
+                )
         elif isinstance(t, ct.ArrayType) and isinstance(value, str):
             self.memory.write_cstring(lvalue.addr, value)
         elif isinstance(t, ct.StructType) and isinstance(value, dict):
@@ -391,7 +401,9 @@ class Interpreter:
         if isinstance(t, ct.StructType):
             return {
                 f.name: self._load_python_value(
-                    LValue(lvalue.addr + t.field_offset(f.name), self._resolve_type(f.type))
+                    LValue(
+                        lvalue.addr + t.field_offset(f.name), self._resolve_type(f.type)
+                    )
                 )
                 for f in t.fields
             }
@@ -454,7 +466,9 @@ class Interpreter:
             if name in inner:
                 scope[name] = inner[name]
 
-    def _exec_declaration(self, stmt: ast.Declaration, scope: Dict[str, LValue]) -> None:
+    def _exec_declaration(
+        self, stmt: ast.Declaration, scope: Dict[str, LValue]
+    ) -> None:
         t = self._resolve_type(stmt.type)
         addr = self.memory.allocate(max(t.sizeof(), 8))
         lvalue = LValue(addr, t)
@@ -524,7 +538,9 @@ class Interpreter:
     def _exec_empty(self, stmt: ast.EmptyStmt, scope: Dict[str, LValue]) -> None:
         pass
 
-    def _store_initializer(self, lvalue: LValue, init: ast.Node, scope: Dict[str, LValue]) -> None:
+    def _store_initializer(
+        self, lvalue: LValue, init: ast.Node, scope: Dict[str, LValue]
+    ) -> None:
         t = self._resolve_type(lvalue.type)
         if isinstance(init, ast.InitializerList):
             if isinstance(t, ct.ArrayType):
@@ -536,7 +552,10 @@ class Interpreter:
             elif isinstance(t, ct.StructType):
                 for f, item in zip(t.fields, init.items):
                     self._store_initializer(
-                        LValue(lvalue.addr + t.field_offset(f.name), self._resolve_type(f.type)),
+                        LValue(
+                            lvalue.addr + t.field_offset(f.name),
+                            self._resolve_type(f.type),
+                        ),
                         item,
                         scope,
                     )
@@ -572,7 +591,9 @@ class Interpreter:
     def _eval_string(self, expr: ast.StringLiteral, scope: Dict[str, LValue]) -> int:
         return self._intern_string(expr.value)
 
-    def _eval_identifier(self, expr: ast.Identifier, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_identifier(self, expr: ast.Identifier, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         lvalue = self._lookup(expr.name, scope)
         if lvalue is None:
             if expr.name in ("NULL", "false"):
@@ -587,7 +608,9 @@ class Interpreter:
             return lvalue.addr
         return read_typed(self.memory, lvalue.addr, t)
 
-    def _eval_postfix(self, expr: ast.PostfixOp, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_postfix(self, expr: ast.PostfixOp, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         lvalue = self._eval_lvalue(expr.operand, scope)
         t = self._resolve_type(lvalue.type)
         old = read_typed(self.memory, lvalue.addr, t)
@@ -596,7 +619,9 @@ class Interpreter:
         write_typed(self.memory, lvalue.addr, new, t)
         return old
 
-    def _eval_conditional(self, expr: ast.Conditional, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_conditional(
+        self, expr: ast.Conditional, scope: Dict[str, LValue]
+    ) -> Union[int, float]:
         if self._truthy(self._eval(expr.cond, scope)):
             value = self._eval(expr.then, scope)
         else:
@@ -613,7 +638,9 @@ class Interpreter:
             return float(value)
         return value
 
-    def _eval_index_or_member(self, expr, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_index_or_member(self, expr, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         lvalue = self._eval_lvalue(expr, scope)
         t = self._resolve_type(lvalue.type)
         if isinstance(t, ct.ArrayType):
@@ -627,7 +654,11 @@ class Interpreter:
     def _eval_sizeof(self, expr: ast.SizeOf, scope: Dict[str, LValue]) -> int:
         if expr.target_type is not None:
             return self._resolve_type(expr.target_type).sizeof()
-        t = expr.operand.ctype if expr.operand is not None and expr.operand.ctype else ct.INT
+        t = (
+            expr.operand.ctype
+            if expr.operand is not None and expr.operand.ctype
+            else ct.INT
+        )
         return self._resolve_type(t).sizeof()
 
     def _lookup(self, name: str, scope: Dict[str, LValue]) -> Optional[LValue]:
@@ -642,7 +673,9 @@ class Interpreter:
             self._string_cache[text] = addr
         return self._string_cache[text]
 
-    def _cast_value(self, value: Union[int, float], target: ct.CType) -> Union[int, float]:
+    def _cast_value(self, value: Union[int, float], target: ct.CType) -> Union[
+        int, float
+    ]:
         if isinstance(target, ct.FloatType):
             return float(value)
         if isinstance(target, ct.IntType):
@@ -677,7 +710,9 @@ class Interpreter:
             return ct.DOUBLE
         return ct.INT
 
-    def _eval_binary(self, expr: ast.BinaryOp, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_binary(self, expr: ast.BinaryOp, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         op = expr.op
         if op == "&&":
             if not self._truthy(self._eval(expr.left, scope)):
@@ -708,7 +743,9 @@ class Interpreter:
                 expr._interp_plan = plan
         return plan(left, right)
 
-    def _eval_unary(self, expr: ast.UnaryOp, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_unary(self, expr: ast.UnaryOp, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         if expr.op == "&":
             return self._eval_lvalue(expr.operand, scope).addr
         if expr.op == "*":
@@ -762,7 +799,9 @@ class Interpreter:
             return self._resolve_type(t.pointee)
         return ct.INT
 
-    def _eval_assignment(self, expr: ast.Assignment, scope: Dict[str, LValue]) -> Union[int, float]:
+    def _eval_assignment(self, expr: ast.Assignment, scope: Dict[str, LValue]) -> Union[
+        int, float
+    ]:
         lvalue = self._eval_lvalue(expr.target, scope)
         t = self._resolve_type(lvalue.type)
         value = self._eval(expr.value, scope)
@@ -925,7 +964,9 @@ class Interpreter:
             index = text.find(ch)
             return 0 if index < 0 else int(args[0]) + index
         if name == "malloc" or name == "calloc":
-            size = int(args[0]) * (int(args[1]) if name == "calloc" and len(args) > 1 else 1)
+            size = int(args[0]) * (
+                int(args[1]) if name == "calloc" and len(args) > 1 else 1
+            )
             return memory.allocate(max(1, size))
         if name == "free":
             return 0
@@ -1007,7 +1048,9 @@ def binary_op_plan(
     still checked against the runtime values, because an unannotated tree
     can hand a float to an operator whose static types look integral.
     """
-    static_float = isinstance(left_type, ct.FloatType) or isinstance(right_type, ct.FloatType)
+    static_float = isinstance(left_type, ct.FloatType) or isinstance(
+        right_type, ct.FloatType
+    )
 
     # Pointer arithmetic scaling.
     if op in ("+", "-"):
@@ -1043,7 +1086,9 @@ def binary_op_plan(
                 wrap = common.wrap
 
         def run_cmp(left, right):
-            if wrap is not None and not isinstance(left, float) and not isinstance(right, float):
+            if wrap is not None and not isinstance(left, float) and not isinstance(
+                right, float
+            ):
                 left = wrap(int(left))
                 right = wrap(int(right))
             return 1 if compare(left, right) else 0

@@ -233,7 +233,9 @@ class Lexer:
 
     def _lex_identifier(self, line: int, column: int) -> Token:
         start = self.pos
-        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
             self._advance()
         text = self.source[start : self.pos]
         kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
@@ -255,7 +257,9 @@ class Lexer:
                 while self._peek().isdigit():
                     self._advance()
             if self._peek() in "eE" and (
-                self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+                self._peek(1).isdigit() or (
+                    self._peek(1) in "+-" and self._peek(2).isdigit()
+                )
             ):
                 is_float = True
                 self._advance()

@@ -114,7 +114,9 @@ class Parser:
         token = self._peek()
         if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
             return True
-        if token.kind is TokenKind.KEYWORD and token.text in ("static", "extern", "inline", "typedef"):
+        if token.kind is TokenKind.KEYWORD and token.text in (
+            "static", "extern", "inline", "typedef"
+        ):
             return True
         if token.kind is TokenKind.IDENT and token.text in self.typedef_names:
             return True
@@ -123,7 +125,11 @@ class Parser:
     def _parse_type_specifier(self) -> ct.CType:
         """Parse a type specifier (no declarator part)."""
         # Skip qualifiers.
-        while self._peek().text in ("const", "volatile", "restrict", "__restrict", "inline") and self._peek().kind is TokenKind.KEYWORD:
+        while (
+            self._peek().text
+            in ("const", "volatile", "restrict", "__restrict", "inline")
+            and self._peek().kind is TokenKind.KEYWORD
+        ):
             self._advance()
 
         token = self._peek()
@@ -149,7 +155,9 @@ class Parser:
                 self._expect_punct("}")
             if tag:
                 self.struct_tags.add(tag)
-            struct = ct.StructType(tag or f"__anon{id(token)}", fields, complete=complete)
+            struct = ct.StructType(
+                tag or f"__anon{id(token)}", fields, complete=complete
+            )
             result: ct.CType = struct
         elif token.is_keyword("enum"):
             self._advance()
@@ -173,9 +181,14 @@ class Parser:
             self._advance()
             result = ct.NamedType(token.text)
         else:
-            raise ParseError(f"expected type but found {token.text!r} at line {token.line}")
+            raise ParseError(
+                f"expected type but found {token.text!r} at line {token.line}"
+            )
 
-        while self._peek().text in ("const", "volatile", "restrict", "__restrict") and self._peek().kind is TokenKind.KEYWORD:
+        while (
+            self._peek().text in ("const", "volatile", "restrict", "__restrict")
+            and self._peek().kind is TokenKind.KEYWORD
+        ):
             self._advance()
         return result
 
@@ -202,7 +215,9 @@ class Parser:
             ):
                 parts.append(token.text)
                 self._advance()
-            elif token.kind is TokenKind.KEYWORD and token.text in ("const", "volatile", "restrict", "__restrict"):
+            elif token.kind is TokenKind.KEYWORD and token.text in (
+                "const", "volatile", "restrict", "__restrict"
+            ):
                 self._advance()
             else:
                 break
@@ -230,7 +245,10 @@ class Parser:
         """Parse ``* name [N]...`` style declarators.  Returns (name, type)."""
         t = base
         while self._accept_punct("*"):
-            while self._peek().text in ("const", "volatile", "restrict", "__restrict") and self._peek().kind is TokenKind.KEYWORD:
+            while (
+                self._peek().text in ("const", "volatile", "restrict", "__restrict")
+                and self._peek().kind is TokenKind.KEYWORD
+            ):
                 self._advance()
             t = ct.PointerType(t)
         name = ""
@@ -265,7 +283,10 @@ class Parser:
             return self._parse_typedef()
 
         storage = None
-        while self._peek().text in ("static", "extern", "inline") and self._peek().kind is TokenKind.KEYWORD:
+        while (
+            self._peek().text in ("static", "extern", "inline")
+            and self._peek().kind is TokenKind.KEYWORD
+        ):
             word = self._advance().text
             if word in ("static", "extern"):
                 storage = word
@@ -396,7 +417,9 @@ class Parser:
 
     def _at_declaration_start(self) -> bool:
         token = self._peek()
-        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS | {"static", "extern"}:
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS | {
+            "static", "extern"
+        }:
             return True
         if token.kind is TokenKind.IDENT and token.text in self.typedef_names:
             # Disambiguate "T x;" (decl) from "T = 3;" / "T(x);" (expr).
@@ -407,7 +430,10 @@ class Parser:
 
     def _parse_local_declaration(self) -> ast.Stmt:
         storage = None
-        while self._peek().text in ("static", "extern") and self._peek().kind is TokenKind.KEYWORD:
+        while (
+            self._peek().text in ("static", "extern")
+            and self._peek().kind is TokenKind.KEYWORD
+        ):
             storage = self._advance().text
         base = self._parse_type_specifier()
         decls: List[ast.Stmt] = []
@@ -548,7 +574,9 @@ class Parser:
 
     def _parse_unary(self) -> ast.Expr:
         token = self._peek()
-        if token.kind is TokenKind.PUNCT and token.text in ("-", "+", "!", "~", "*", "&"):
+        if token.kind is TokenKind.PUNCT and token.text in (
+            "-", "+", "!", "~", "*", "&"
+        ):
             self._advance()
             operand = self._parse_unary()
             return ast.UnaryOp(token.text, operand)

@@ -42,23 +42,33 @@ BUILTIN_FUNCTIONS: Dict[str, ct.FunctionType] = {
     "floor": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
     "ceil": ct.FunctionType(ct.DOUBLE, (ct.DOUBLE,)),
     "memcpy": ct.FunctionType(
-        ct.PointerType(ct.VOID), (ct.PointerType(ct.VOID), ct.PointerType(ct.VOID), ct.ULONG)
+        ct.PointerType(ct.VOID), (
+            ct.PointerType(ct.VOID), ct.PointerType(ct.VOID), ct.ULONG
+        )
     ),
     "memset": ct.FunctionType(
         ct.PointerType(ct.VOID), (ct.PointerType(ct.VOID), ct.INT, ct.ULONG)
     ),
     "memmove": ct.FunctionType(
-        ct.PointerType(ct.VOID), (ct.PointerType(ct.VOID), ct.PointerType(ct.VOID), ct.ULONG)
+        ct.PointerType(ct.VOID), (
+            ct.PointerType(ct.VOID), ct.PointerType(ct.VOID), ct.ULONG
+        )
     ),
     "strlen": ct.FunctionType(ct.ULONG, (ct.PointerType(ct.CHAR),)),
     "strcpy": ct.FunctionType(
         ct.PointerType(ct.CHAR), (ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR))
     ),
     "strncpy": ct.FunctionType(
-        ct.PointerType(ct.CHAR), (ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR), ct.ULONG)
+        ct.PointerType(ct.CHAR), (
+            ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR), ct.ULONG
+        )
     ),
-    "strcmp": ct.FunctionType(ct.INT, (ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR))),
-    "strchr": ct.FunctionType(ct.PointerType(ct.CHAR), (ct.PointerType(ct.CHAR), ct.INT)),
+    "strcmp": ct.FunctionType(
+        ct.INT, (ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR))
+    ),
+    "strchr": ct.FunctionType(
+        ct.PointerType(ct.CHAR), (ct.PointerType(ct.CHAR), ct.INT)
+    ),
     "strcat": ct.FunctionType(
         ct.PointerType(ct.CHAR), (ct.PointerType(ct.CHAR), ct.PointerType(ct.CHAR))
     ),
@@ -86,7 +96,9 @@ class MissingDeclarations:
     struct_tags: Set[str] = field(default_factory=set)
 
     def is_empty(self) -> bool:
-        return not (self.typedefs or self.variables or self.functions or self.struct_tags)
+        return not (
+            self.typedefs or self.variables or self.functions or self.struct_tags
+        )
 
 
 @dataclass
@@ -167,7 +179,9 @@ class TypeChecker:
                 if decl.init is not None:
                     # Annotate initialiser expressions: the interpreter's
                     # static typing (and constant wrapping) relies on ctype.
-                    self._check_initializer(decl.init, self._resolve(decl.type), self.global_scope)
+                    self._check_initializer(
+                        decl.init, self._resolve(decl.type), self.global_scope
+                    )
             elif isinstance(decl, ast.Block):
                 for inner in decl.stmts:
                     if isinstance(inner, ast.Declaration):
@@ -271,7 +285,9 @@ class TypeChecker:
         else:
             self._error(f"unsupported statement {type(stmt).__name__}")
 
-    def _check_initializer(self, node: ast.Node, target: ct.CType, scope: _Scope) -> None:
+    def _check_initializer(
+        self, node: ast.Node, target: ct.CType, scope: _Scope
+    ) -> None:
         if isinstance(node, ast.InitializerList):
             element = target.element if isinstance(target, ct.ArrayType) else target
             for item in node.items:
@@ -317,7 +333,9 @@ class TypeChecker:
         if isinstance(expr, ast.Assignment):
             target = self._check_expr(expr.target, scope)
             value = self._check_expr(expr.value, scope)
-            if target is not None and value is not None and not ct.types_compatible(target, value):
+            if target is not None and value is not None and not ct.types_compatible(
+                target, value
+            ):
                 self._error(f"assigning {value} to {target}")
             return target
         if isinstance(expr, ast.Conditional):
@@ -368,7 +386,11 @@ class TypeChecker:
         if expr.op in ("+", "-"):
             if isinstance(left, ct.PointerType) and right.is_integer():
                 return left
-            if isinstance(right, ct.PointerType) and left.is_integer() and expr.op == "+":
+            if (
+                isinstance(right, ct.PointerType)
+                and left.is_integer()
+                and expr.op == "+"
+            ):
                 return right
             if isinstance(left, ct.PointerType) and isinstance(right, ct.PointerType):
                 return ct.LONG
@@ -423,12 +445,16 @@ class TypeChecker:
             local = scope.lookup(name)
             if isinstance(local, ct.FunctionType):
                 ftype: Optional[ct.FunctionType] = local
-            elif isinstance(local, ct.PointerType) and isinstance(local.pointee, ct.FunctionType):
+            elif isinstance(local, ct.PointerType) and isinstance(
+                local.pointee, ct.FunctionType
+            ):
                 ftype = local.pointee
             else:
                 ftype = self.functions.get(name)
             if ftype is None:
-                arg_types = tuple(ct.decay(a.ctype) if a.ctype else ct.INT for a in expr.args)
+                arg_types = tuple(
+                    ct.decay(a.ctype) if a.ctype else ct.INT for a in expr.args
+                )
                 ftype = ct.FunctionType(ct.INT, arg_types)
                 self.result.missing.functions.setdefault(name, ftype)
             expr.func.ctype = ftype
@@ -445,7 +471,9 @@ class TypeChecker:
         func_type = self._check_expr(expr.func, scope)
         if isinstance(func_type, ct.FunctionType):
             return func_type.return_type
-        if isinstance(func_type, ct.PointerType) and isinstance(func_type.pointee, ct.FunctionType):
+        if isinstance(func_type, ct.PointerType) and isinstance(
+            func_type.pointee, ct.FunctionType
+        ):
             return func_type.pointee.return_type
         return ct.INT
 

@@ -60,6 +60,18 @@ PRE_BATCHING_BASELINE = {
     "note": "PR 3 per-case pipeline: one native build+run per case per leg",
 }
 
+#: The subprocess-batched pipeline as committed before the fork-server
+#: rebuild (PR 6 tree, same workload/host class as above): one harness TU
+#: compiled and one subprocess launched per batch leg, eval batching one
+#: toolchain invocation per *function*.  The fork-server acceptance target
+#: is 2x these numbers.
+PRE_FORKSERVER_BASELINE = {
+    "fuzz_cases_per_second": 35.55,
+    "eval_candidates_per_second": 57.72,
+    "note": "PR 6 subprocess batches: harness TU + subprocess per batch leg, "
+    "one native build per eval function",
+}
+
 
 def _rate(count: int, seconds: float) -> float:
     return round(count / seconds, 2) if seconds > 0 else float("inf")
@@ -132,7 +144,9 @@ def bench_lowering(cases: List[GeneratedCase]) -> Dict:
 
 def bench_backends(cases: List[GeneratedCase]) -> Dict:
     lowered = [
-        lower_for_backend(case.program, name=case.name, opt_level=opt, checker=case.checker)
+        lower_for_backend(
+            case.program, name=case.name, opt_level=opt, checker=case.checker
+        )
         for case in cases
         for opt in ("O0", "O3")
     ]
@@ -146,15 +160,24 @@ def bench_backends(cases: List[GeneratedCase]) -> Dict:
 
 
 def bench_fuzz(
-    seed: int, sequential_count: int, batched_count: int, jobs: int
+    seed: int,
+    sequential_count: int,
+    batched_count: int,
+    jobs: int,
+    jobs_curve: Optional[List[int]] = None,
 ) -> Dict:
     backends = ("x86",) if have_native_toolchain() else ()
     sequential_config = FuzzConfig(backends=backends, use_batch=False)
-    batched_config = FuzzConfig(backends=backends, use_batch=True)
+    batched_config = FuzzConfig(backends=backends, use_batch=True, fork_server=True)
+    subprocess_config = FuzzConfig(backends=backends, use_batch=True, fork_server=False)
 
     started = time.perf_counter()
     sequential_results = run_campaign(sequential_config, seed, sequential_count)
     sequential_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    subprocess_results = run_campaign(subprocess_config, seed, batched_count, jobs=jobs)
+    subprocess_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
     batched_results = run_campaign(batched_config, seed, batched_count, jobs=jobs)
@@ -163,22 +186,71 @@ def bench_fuzz(
     sequential = _stage("cases", sequential_count, sequential_seconds)
     batched = _stage("cases", batched_count, batched_seconds)
     batched["jobs"] = jobs
-    clean = all(not r.failed for r in sequential_results + batched_results)
-    return {
-        "legs": ["interp", "ir-O3"] + [f"{b}-{o}" for b in backends for o in ("O0", "O3")],
+    batched["fork_server"] = True
+    batched_subprocess = _stage("cases", batched_count, subprocess_seconds)
+    batched_subprocess["jobs"] = jobs
+    batched_subprocess["fork_server"] = False
+    clean = all(
+        not r.failed
+        for r in sequential_results + subprocess_results + batched_results
+    )
+    out = {
+        "legs": ["interp", "ir-O3"]
+        + [f"{b}-{o}" for b in backends for o in ("O0", "O3")],
         "all_cases_clean": clean,
         "pre_batching_baseline": dict(PRE_BATCHING_BASELINE),
+        "pre_forkserver_baseline": dict(PRE_FORKSERVER_BASELINE),
         "sequential": sequential,
         "batched": batched,
+        "batched_subprocess": batched_subprocess,
         "speedup_batched_vs_sequential": round(
             batched["cases_per_second"] / max(1e-9, sequential["cases_per_second"]), 2
+        ),
+        "speedup_forkserver_vs_subprocess": round(
+            batched["cases_per_second"]
+            / max(1e-9, batched_subprocess["cases_per_second"]),
+            2,
         ),
         "speedup_batched_vs_pre_batching": round(
             batched["cases_per_second"]
             / PRE_BATCHING_BASELINE["cases_per_second"],
             2,
         ),
+        "speedup_batched_vs_pre_forkserver": round(
+            batched["cases_per_second"]
+            / PRE_FORKSERVER_BASELINE["fuzz_cases_per_second"],
+            2,
+        ),
     }
+    if jobs_curve:
+        out["jobs_curve"] = bench_jobs_curve(
+            batched_config, seed, batched_count, jobs_curve
+        )
+    return out
+
+
+def bench_jobs_curve(
+    config: FuzzConfig, seed: int, count: int, jobs_values: List[int]
+) -> List[Dict]:
+    """The batched campaign timed at each worker count.
+
+    Each point carries its speedup over the curve's jobs=1 point (or the
+    smallest measured point when 1 is not in the list) — the number the CI
+    multi-core gate checks.
+    """
+    points: List[Dict] = []
+    for jobs in jobs_values:
+        started = time.perf_counter()
+        run_campaign(config, seed, count, jobs=jobs)
+        point = _stage("cases", count, time.perf_counter() - started)
+        point["jobs"] = jobs
+        points.append(point)
+    base = min(points, key=lambda p: p["jobs"])["cases_per_second"]
+    for point in points:
+        point["speedup_vs_jobs1"] = round(
+            point["cases_per_second"] / max(1e-9, base), 2
+        )
+    return points
 
 
 def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
@@ -206,24 +278,47 @@ def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
     build_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    report = score_dataset(entries, candidate_sets, backend=backend, use_batch=True)
+    report = score_dataset(
+        entries, candidate_sets, backend=backend, use_batch=True, fork_server=True
+    )
     scoring_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    score_dataset(
+        entries, candidate_sets, backend=backend, use_batch=True, fork_server=False
+    )
+    subprocess_seconds = time.perf_counter() - started
 
     total = report["aggregate"]["candidates"]
     out = _stage("candidates", total, scoring_seconds)
+    subprocess_rate = _rate(total, subprocess_seconds)
     out.update(
         {
             "functions": functions,
             "candidates_per_function": candidates,
             "backend": backend,
             "build_seconds": round(build_seconds, 3),
+            "subprocess_candidates_per_second": subprocess_rate,
+            "speedup_forkserver_vs_subprocess": round(
+                out["candidates_per_second"] / max(1e-9, subprocess_rate), 2
+            ),
+            "pre_forkserver_baseline": PRE_FORKSERVER_BASELINE[
+                "eval_candidates_per_second"
+            ],
+            "speedup_vs_pre_forkserver": round(
+                out["candidates_per_second"]
+                / PRE_FORKSERVER_BASELINE["eval_candidates_per_second"],
+                2,
+            ),
             "ground_truth_agreement": report["aggregate"]["ground_truth_agreement"],
         }
     )
     return out
 
 
-def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
+def run_benchmarks(
+    seed: int, quick: bool, jobs: int, jobs_curve: Optional[List[int]] = None
+) -> Dict:
     stage_count = 40 if quick else 100
     sequential_count = 25 if quick else 500
     batched_count = 120 if quick else 500
@@ -246,23 +341,38 @@ def run_benchmarks(seed: int, quick: bool, jobs: int) -> Dict:
             "lowering": bench_lowering(cases),
             "backends": bench_backends(cases),
         },
-        "fuzz": bench_fuzz(seed, sequential_count, batched_count, jobs),
+        "fuzz": bench_fuzz(seed, sequential_count, batched_count, jobs, jobs_curve),
         "eval": bench_eval(seed, 8 if quick else 20, 6 if quick else 8),
     }
     return report
 
 
 def compare_reports(
-    current: Dict, baseline: Dict, tolerance: float, min_speedup: float = 2.5
+    current: Dict,
+    baseline: Dict,
+    tolerance: float,
+    min_speedup: float = 2.5,
+    min_eval_speedup: float = 2.0,
+    require_jobs_scaling: bool = False,
+    min_jobs_speedup: float = 2.0,
 ) -> Optional[str]:
     """None when within tolerance, else a human-readable failure message.
 
-    Two gates: the absolute batched throughput must stay within
-    ``tolerance`` of the committed baseline, and — because the baseline may
-    have been recorded on different hardware — the *host-relative*
-    batched-vs-sequential speedup measured inside the current run must stay
-    above ``min_speedup``.  The second gate catches code regressions even
-    when a faster runner would mask them in absolute cases/s.
+    Gates, in order:
+
+    * the absolute batched fuzz and eval throughputs must stay within
+      ``tolerance`` of the committed baseline;
+    * because the baseline may have been recorded on different hardware,
+      the *host-relative* batched-vs-sequential fuzz speedup measured
+      inside the current run must stay above ``min_speedup`` — this
+      catches code regressions even when a faster runner masks them in
+      absolute cases/s;
+    * the eval scorer must stay at least ``min_eval_speedup`` above the
+      recorded pre-fork-server baseline (the fork-server acceptance
+      floor);
+    * with ``require_jobs_scaling`` (the multi-core CI gate), the highest
+      point of the recorded ``--jobs`` curve must be at least
+      ``min_jobs_speedup`` over its jobs=1 point.
     """
     try:
         baseline_rate = float(baseline["fuzz"]["batched"]["cases_per_second"])
@@ -276,9 +386,21 @@ def compare_reports(
             f"vs baseline {baseline_rate:.1f} cases/s "
             f"(> {tolerance:.0%} below baseline)"
         )
-    # The speedup gate only means something when native legs actually ran:
-    # batching changes native execution, so a toolchain-free run measures
-    # ~1x regardless of the batching layer's health.
+    try:
+        baseline_eval = float(baseline["eval"]["candidates_per_second"])
+        current_eval = float(current["eval"]["candidates_per_second"])
+    except (KeyError, TypeError, ValueError):
+        baseline_eval = current_eval = None
+    if baseline_eval is not None:
+        if current_eval < baseline_eval * (1.0 - tolerance):
+            return (
+                f"eval scoring throughput regressed: {current_eval:.1f} "
+                f"candidates/s vs baseline {baseline_eval:.1f} candidates/s "
+                f"(> {tolerance:.0%} below baseline)"
+            )
+    # The host-relative gates only mean something when native legs
+    # actually ran: batching and the fork server change native execution,
+    # so a toolchain-free run measures ~1x regardless of their health.
     legs = current["fuzz"].get("legs")
     if legs is not None and not any(
         leg.startswith(("x86", "arm")) for leg in legs
@@ -291,6 +413,30 @@ def compare_reports(
             f"host (expected >= {min_speedup:.1f}x): the batching layer has "
             "regressed even if absolute throughput looks fine"
         )
+    eval_section = current.get("eval") or {}
+    if eval_section.get("backend") in ("x86", "arm"):
+        eval_speedup = float(eval_section.get("speedup_vs_pre_forkserver", 0.0))
+        if eval_speedup < min_eval_speedup:
+            return (
+                f"eval scoring is only {eval_speedup:.1f}x the pre-fork-server "
+                f"baseline (expected >= {min_eval_speedup:.1f}x): the "
+                "fork-server/grouped execution layer has regressed"
+            )
+    if require_jobs_scaling:
+        curve = current["fuzz"].get("jobs_curve") or []
+        if len(curve) < 2:
+            return (
+                "multi-core gate requested but the report has no --jobs "
+                "scaling curve (run with --jobs-curve 1,2,4)"
+            )
+        top = max(curve, key=lambda point: point["jobs"])
+        if float(top.get("speedup_vs_jobs1", 0.0)) < min_jobs_speedup:
+            return (
+                f"jobs={top['jobs']} end-to-end speedup is only "
+                f"{top.get('speedup_vs_jobs1', 0.0):.1f}x over jobs=1 "
+                f"(expected >= {min_jobs_speedup:.1f}x): --jobs is not "
+                "delivering multi-core scaling"
+            )
     return None
 
 
@@ -307,6 +453,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the batched run"
+    )
+    parser.add_argument(
+        "--jobs-curve",
+        metavar="N,N,...",
+        help="also time the batched fuzz campaign at each of these worker "
+        "counts and record the scaling curve (e.g. 1,2,4)",
+    )
+    parser.add_argument(
+        "--require-jobs-scaling",
+        action="store_true",
+        help="with --compare: fail unless the top of the --jobs curve is at "
+        "least 2x its jobs=1 point (the multi-core CI gate)",
     )
     parser.add_argument(
         "--output",
@@ -327,7 +485,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(args.seed, args.quick, args.jobs)
+    jobs_curve: Optional[List[int]] = None
+    if args.jobs_curve:
+        try:
+            jobs_curve = sorted({int(part) for part in args.jobs_curve.split(",")})
+        except ValueError:
+            parser.error("--jobs-curve takes a comma-separated list of integers")
+        if any(jobs < 1 for jobs in jobs_curve):
+            parser.error("--jobs-curve worker counts must be >= 1")
+    if args.require_jobs_scaling and not args.compare:
+        parser.error("--require-jobs-scaling only makes sense with --compare")
+
+    report = run_benchmarks(args.seed, args.quick, args.jobs, jobs_curve)
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -339,10 +508,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {stage:<12} {numbers[rate_key]:>9.1f} {rate_key.replace('_', ' ')}")
     print(
         f"  fuzz e2e     sequential {fuzz['sequential']['cases_per_second']:.1f} cases/s, "
-        f"batched {fuzz['batched']['cases_per_second']:.1f} cases/s "
-        f"({fuzz['speedup_batched_vs_sequential']:.1f}x; "
-        f"{fuzz['speedup_batched_vs_pre_batching']:.1f}x vs pre-batching baseline)"
+        f"subprocess batches {fuzz['batched_subprocess']['cases_per_second']:.1f} cases/s, "
+        f"fork-server {fuzz['batched']['cases_per_second']:.1f} cases/s "
+        f"({fuzz['speedup_batched_vs_sequential']:.1f}x vs sequential; "
+        f"{fuzz['speedup_forkserver_vs_subprocess']:.1f}x vs subprocess batches; "
+        f"{fuzz['speedup_batched_vs_pre_forkserver']:.1f}x vs pre-fork-server baseline)"
     )
+    for point in fuzz.get("jobs_curve", []):
+        print(
+            f"  fuzz jobs={point['jobs']}  {point['cases_per_second']:.1f} cases/s "
+            f"({point['speedup_vs_jobs1']:.2f}x vs jobs=1)"
+        )
     if not fuzz["all_cases_clean"]:
         print("warning: some benchmark cases reported divergences", file=sys.stderr)
     eval_stage = report["eval"]
@@ -350,7 +526,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"  eval         {eval_stage['candidates_per_second']:.1f} candidates/s "
         f"({eval_stage['functions']}x{eval_stage['candidates_per_function']} on "
         f"{eval_stage['backend']}, agreement "
-        f"{eval_stage['ground_truth_agreement']:.0%})"
+        f"{eval_stage['ground_truth_agreement']:.0%}; "
+        f"{eval_stage['speedup_vs_pre_forkserver']:.1f}x vs pre-fork-server "
+        "baseline)"
     )
     if eval_stage["ground_truth_agreement"] < 1.0:
         print(
@@ -361,7 +539,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.compare:
         with open(args.compare) as handle:
             baseline = json.load(handle)
-        failure = compare_reports(report, baseline, args.tolerance)
+        failure = compare_reports(
+            report,
+            baseline,
+            args.tolerance,
+            require_jobs_scaling=args.require_jobs_scaling,
+        )
         if failure is not None:
             print(f"FAIL: {failure}", file=sys.stderr)
             return 1

@@ -134,7 +134,9 @@ class CaseContext:
     def _resolve_uncached(self, t: ct.CType) -> ct.CType:
         if isinstance(t, ct.NamedType) and t.name in self.checker.typedefs:
             return self.resolve(self.checker.typedefs[t.name])
-        if isinstance(t, ct.StructType) and not t.fields and t.tag in self.checker.structs:
+        if isinstance(
+            t, ct.StructType
+        ) and not t.fields and t.tag in self.checker.structs:
             return self.checker.structs[t.tag]
         if isinstance(t, ct.PointerType):
             return ct.PointerType(self.resolve(t.pointee))

@@ -9,9 +9,19 @@ Throughput machinery (all verdict-preserving):
 
 * **Batched native execution** (default): cases are evaluated in batches of
   ``--batch-size`` through :meth:`Oracle.check_batch`, which compiles each
-  batch into one translation unit per native leg and runs it in one
-  subprocess — O(legs) toolchain invocations per batch instead of
-  O(cases x legs).  ``--no-batch`` restores the one-case-at-a-time path.
+  batch into one translation unit per native leg — O(legs) toolchain
+  invocations per batch instead of O(cases x legs).
+* **Fork-server execution** (default): each batch leg runs as one
+  persistent process that ``fork()``s per (case, input) pair, so traps
+  cost a dead child instead of a process relaunch and clean pairs never
+  re-exec.  ``--no-fork-server`` restores the one-subprocess-per-leg
+  path, kept as the byte-identical parity reference; ``--no-batch``
+  restores the original one-case-at-a-time path.
+* **Compile-while-execute pipelining**: native builds are launched
+  asynchronously and joined only when their outcomes are needed, and the
+  batched loop prepares batch N+1 (generate, lower, launch builds) before
+  draining batch N, so the compiler runs under the Python front half and
+  the executing servers.
 * **Parallel evaluation**: ``--jobs N`` shards the case indices round-robin
   across N worker processes.  Each case's verdict depends only on its seed,
   so results are aggregated deterministically by case index regardless of
@@ -52,7 +62,7 @@ import multiprocessing
 import sys
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.testing.generator import GeneratedCase, ProgramGenerator
 from repro.testing.oracle import Oracle, OracleError
@@ -106,6 +116,7 @@ class FuzzConfig:
     verify_ir: bool = True
     inject_ir_miscompile: bool = False
     sanitize: bool = False
+    fork_server: bool = True
 
 
 @dataclass
@@ -133,6 +144,7 @@ def build_oracle(config: FuzzConfig) -> Oracle:
         verify_ir=config.verify_ir,
         ir_transform=strip_reextension if config.inject_ir_miscompile else None,
         sanitize=config.sanitize,
+        fork_server=config.fork_server,
     )
 
 
@@ -172,25 +184,67 @@ def evaluate_cases(
                 )
         return results
 
-    for start in range(0, len(indices), config.batch_size):
-        chunk = list(indices[start : start + config.batch_size])
-        cases = [generate(config, base_seed, index) for index in chunk]
-        verdicts = oracle.check_batch(cases)
-        for index, verdict in zip(chunk, verdicts):
-            seed = case_seed(base_seed, index)
-            if verdict is None:
-                results.append(CaseResult(index, seed, "ok"))
-            elif isinstance(verdict, Exception):
-                results.append(
-                    CaseResult(index, seed, "build-error", str(verdict), "build-error")
-                )
-            else:
-                results.append(
-                    CaseResult(
-                        index, seed, "divergence", verdict.describe(), verdict.category
-                    )
-                )
+    for chunk_results in iter_batched_results(oracle, config, base_seed, indices):
+        results.extend(chunk_results)
     return results
+
+
+def _chunk_results(
+    chunk: Sequence[int], verdicts, base_seed: int
+) -> List[CaseResult]:
+    results: List[CaseResult] = []
+    for index, verdict in zip(chunk, verdicts):
+        seed = case_seed(base_seed, index)
+        if verdict is None:
+            results.append(CaseResult(index, seed, "ok"))
+        elif isinstance(verdict, Exception):
+            results.append(
+                CaseResult(index, seed, "build-error", str(verdict), "build-error")
+            )
+        else:
+            results.append(
+                CaseResult(
+                    index, seed, "divergence", verdict.describe(), verdict.category
+                )
+            )
+    return results
+
+
+def iter_batched_results(
+    oracle: Oracle, config: FuzzConfig, base_seed: int, indices: Sequence[int]
+):
+    """Yield each batch's results with one-batch lookahead.
+
+    Batch N+1 is *prepared* (generated, lowered, native builds launched,
+    reference legs run) before batch N is drained, so N+1's compilers run
+    underneath N's native execution — the cross-batch half of the
+    compile-while-execute pipeline.
+    """
+    pending: Optional[Tuple[List[int], Any]] = None
+    try:
+        for start in range(0, len(indices), config.batch_size):
+            chunk = list(indices[start : start + config.batch_size])
+            cases = [generate(config, base_seed, index) for index in chunk]
+            prepared = oracle.prepare_batch(cases)
+            if pending is not None:
+                done_chunk, done_prepared = pending
+                pending = None
+                yield _chunk_results(
+                    done_chunk, oracle.finish_batch(done_prepared), base_seed
+                )
+            pending = (chunk, prepared)
+        if pending is not None:
+            done_chunk, done_prepared = pending
+            pending = None
+            yield _chunk_results(
+                done_chunk, oracle.finish_batch(done_prepared), base_seed
+            )
+    finally:
+        # A consumer that stops early (first divergence) leaves one batch
+        # prepared but never drained; reap its background compilers.
+        if pending is not None:
+            for batch, _ in pending[1].batches.values():
+                batch.abandon()
 
 
 def _campaign_worker(payload) -> List[CaseResult]:
@@ -228,7 +282,10 @@ def _report_failure(
     result: CaseResult, case: GeneratedCase, oracle: Oracle, args: argparse.Namespace
 ) -> None:
     if result.status == "build-error":
-        print(f"\ncase {result.index} (seed {result.seed}): leg failed to build: {result.detail}")
+        print(
+            f"\ncase {result.index} (seed {result.seed}): "
+            f"leg failed to build: {result.detail}"
+        )
         print(case.source)
         return
     print(f"\ncase {result.index} (seed {result.seed}) DIVERGES:")
@@ -297,6 +354,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="evaluate one case per native build/run (the pre-batching path; "
         "slower, used as the parity reference)",
+    )
+    parser.add_argument(
+        "--no-fork-server",
+        action="store_true",
+        help="run batches through the one-subprocess-per-leg harness instead "
+        "of the persistent fork server (the byte-identical parity reference)",
     )
     parser.add_argument(
         "--require-native",
@@ -376,6 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         verify_ir=not args.no_verify_ir,
         inject_ir_miscompile=args.inject_ir_miscompile,
         sanitize=args.sanitize,
+        fork_server=not args.no_fork_server,
     )
 
     try:
@@ -385,7 +449,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     print(f"legs: {', '.join(oracle.legs())}")
     if len(oracle.legs()) < 2:
-        print("error: fewer than two legs available; nothing to compare", file=sys.stderr)
+        print(
+            "error: fewer than two legs available; nothing to compare", file=sys.stderr
+        )
         return 2
     if args.inject_miscompile and "x86-O0" not in oracle.legs():
         # The injected bug lives in x86 assembly; without that leg the
@@ -425,11 +491,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 break
     else:
         # Sequential: evaluate in chunks so a failure can stop the run early.
-        chunk_size = config.batch_size if config.use_batch else 1
+        # The batched iterator keeps one batch in flight ahead of the one
+        # being drained (its builds compile in the background); stopping
+        # early just abandons that lookahead batch.
+        if config.use_batch:
+            result_chunks = iter_batched_results(
+                oracle, config, args.seed, list(range(args.count))
+            )
+        else:
+            result_chunks = (
+                evaluate_cases(oracle, config, args.seed, [index])
+                for index in range(args.count)
+            )
         last_progress = 0
-        for start in range(0, args.count, chunk_size):
-            indices = range(start, min(start + chunk_size, args.count))
-            results = evaluate_cases(oracle, config, args.seed, indices)
+        for results in result_chunks:
             checked += len(results)
             stop = False
             for result in results:

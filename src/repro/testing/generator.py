@@ -169,7 +169,9 @@ class ProgramGenerator:
         mask = self.rng.choice((3, 7, 15, 31, 63))
         k = self.rng.randint(1, 4)
         inner = self._expr(scope, depth - 1)
-        return ast.BinaryOp("+", ast.BinaryOp("&", inner, ast.IntLiteral(mask)), ast.IntLiteral(k))
+        return ast.BinaryOp(
+            "+", ast.BinaryOp("&", inner, ast.IntLiteral(mask)), ast.IntLiteral(k)
+        )
 
     def _shift_count(self, scope: _Scope, depth: int) -> ast.Expr:
         if self.rng.random() < 0.5:
@@ -179,7 +181,9 @@ class ProgramGenerator:
 
     def _comparison(self, scope: _Scope, depth: int) -> ast.Expr:
         op = self.rng.choice(_COMPARISONS)
-        return ast.BinaryOp(op, self._expr(scope, depth - 1), self._expr(scope, depth - 1))
+        return ast.BinaryOp(
+            op, self._expr(scope, depth - 1), self._expr(scope, depth - 1)
+        )
 
     def _condition(self, scope: _Scope, depth: int) -> ast.Expr:
         rng = self.rng
@@ -188,7 +192,9 @@ class ProgramGenerator:
             return self._comparison(scope, depth)
         if choice < 0.7:
             op = rng.choice(("&&", "||"))
-            return ast.BinaryOp(op, self._comparison(scope, depth), self._comparison(scope, depth))
+            return ast.BinaryOp(
+                op, self._comparison(scope, depth), self._comparison(scope, depth)
+            )
         if choice < 0.8:
             return ast.UnaryOp("!", self._expr(scope, depth - 1))
         return self._expr(scope, depth - 1)
@@ -203,13 +209,19 @@ class ProgramGenerator:
             return self._leaf(scope)
         if choice < 0.62:
             op = rng.choice(_ARITH_OPS)
-            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._expr(scope, depth - 1))
+            return ast.BinaryOp(
+                op, self._expr(scope, depth - 1), self._expr(scope, depth - 1)
+            )
         if choice < 0.72:
             op = rng.choice(("/", "%"))
-            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._guarded_divisor(scope, depth))
+            return ast.BinaryOp(
+                op, self._expr(scope, depth - 1), self._guarded_divisor(scope, depth)
+            )
         if choice < 0.8:
             op = rng.choice(("<<", ">>"))
-            return ast.BinaryOp(op, self._expr(scope, depth - 1), self._shift_count(scope, depth))
+            return ast.BinaryOp(
+                op, self._expr(scope, depth - 1), self._shift_count(scope, depth)
+            )
         if choice < 0.86:
             op = rng.choice(("-", "~", "!"))
             return ast.UnaryOp(op, self._expr(scope, depth - 1))
@@ -253,7 +265,9 @@ class ProgramGenerator:
             return ast.ExprStmt(ast.Assignment(op, target, value))
         if roll < 0.9:
             op = self.rng.choice(("/=", "%="))
-            return ast.ExprStmt(ast.Assignment(op, target, self._guarded_divisor(scope, 2)))
+            return ast.ExprStmt(
+                ast.Assignment(op, target, self._guarded_divisor(scope, 2))
+            )
         op = self.rng.choice(("<<=", ">>="))
         return ast.ExprStmt(ast.Assignment(op, target, self._shift_count(scope, 2)))
 
@@ -278,7 +292,9 @@ class ProgramGenerator:
         then = ast.Block(self._stmts(_Scope(list(scope.vars)), max(1, budget // 2)))
         otherwise = None
         if self.rng.random() < 0.45:
-            otherwise = ast.Block(self._stmts(_Scope(list(scope.vars)), max(1, budget // 2)))
+            otherwise = ast.Block(
+                self._stmts(_Scope(list(scope.vars)), max(1, budget // 2))
+            )
         return ast.If(cond, then, otherwise)
 
     def _for_loop(self, scope: _Scope, budget: int) -> ast.Stmt:
@@ -306,7 +322,11 @@ class ProgramGenerator:
         body_stmts = self._stmts(inner, max(1, budget // 2))
         self._loop_depth -= 1
         decrement = ast.ExprStmt(
-            ast.Assignment("=", ast.Identifier(name), ast.BinaryOp("-", ast.Identifier(name), ast.IntLiteral(1)))
+            ast.Assignment(
+                "=",
+                ast.Identifier(name),
+                ast.BinaryOp("-", ast.Identifier(name), ast.IntLiteral(1)),
+            )
         )
         cond = ast.BinaryOp(">", ast.Identifier(name), ast.IntLiteral(0))
         loop = ast.While(cond, ast.Block(body_stmts + [decrement]))

@@ -146,7 +146,9 @@ class IRExecutor:
             optimize_ir(ir_func)
         return self._widen_entry(name, ir_func, strings)
 
-    def _widen_entry(self, name: str, ir_func: ir.IRFunction, strings: Dict[str, str]) -> Tuple:
+    def _widen_entry(
+        self, name: str, ir_func: ir.IRFunction, strings: Dict[str, str]
+    ) -> Tuple:
         # The label table and the per-instruction dispatch codes depend only
         # on the (immutable) IR, so they are computed once per function and
         # shared by every executor using this cache.
@@ -193,7 +195,9 @@ class IRExecutor:
             if backing is None:
                 final_args.append(original)
             else:
-                final_args.append(self.interp._read_back_argument(backing, length, original))
+                final_args.append(
+                    self.interp._read_back_argument(backing, length, original)
+                )
         final_globals = {g: self.interp.get_global(g) for g in self.interp.global_addrs}
         return ExecutionResult(ret_value, final_args, final_globals, self.steps)
 
@@ -206,7 +210,9 @@ class IRExecutor:
             # exhaustion as inconclusive, not as an observation.
             raise RuntimeLimitExceeded(f"exceeded {self.max_steps} IR execution steps")
 
-    def _call(self, name: str, args: List[Union[int, float]]) -> Union[int, float, None]:
+    def _call(self, name: str, args: List[Union[int, float]]) -> Union[
+        int, float, None
+    ]:
         if self.program.function(name) is None:
             # Library call: reuse the interpreter's builtin table (it reads
             # and writes the shared memory).
@@ -245,9 +251,13 @@ class IRExecutor:
             elif kind == _K_MOVE:
                 regs[instr.dst] = self._coerce(instr.dst, value_of(instr.src))
             elif kind == _K_BINOP:
-                regs[instr.dst] = self._binop(instr, value_of(instr.left), value_of(instr.right))
+                regs[instr.dst] = self._binop(
+                    instr, value_of(instr.left), value_of(instr.right)
+                )
             elif kind == _K_CMP:
-                regs[instr.dst] = self._cmp(instr, value_of(instr.left), value_of(instr.right))
+                regs[instr.dst] = self._cmp(
+                    instr, value_of(instr.left), value_of(instr.right)
+                )
             elif kind == _K_UNARY:
                 regs[instr.dst] = self._unary(instr, value_of(instr.src))
             elif kind == _K_CAST:
@@ -273,7 +283,9 @@ class IRExecutor:
             elif kind == _K_CALL:
                 result = self._call(instr.name, [value_of(a) for a in instr.args])
                 if instr.dst is not None:
-                    regs[instr.dst] = self._coerce(instr.dst, 0 if result is None else result)
+                    regs[instr.dst] = self._coerce(
+                        instr.dst, 0 if result is None else result
+                    )
             elif kind == _K_JUMP:
                 pc = labels[instr.target]
             elif kind == _K_BRANCH:
@@ -284,7 +296,9 @@ class IRExecutor:
                     return None
                 return value_of(instr.value)
             else:
-                raise IRExecError(f"cannot execute IR instruction {type(instr).__name__}")
+                raise IRExecError(
+                    f"cannot execute IR instruction {type(instr).__name__}"
+                )
         return None
 
     # -- instruction semantics -------------------------------------------------

@@ -9,10 +9,20 @@ machinery:
   as the oracle's sequential reference path.
 * :class:`NativeBatch` — N cases compiled into **one** translation unit
   per (ISA, opt level), linked against a single dispatching harness and
-  executed with **one** subprocess per leg (plus one extra per observed
-  trap/timeout, to resume past it).  Toolchain invocations drop from
-  O(cases x legs) to O(legs) per batch, which is where almost all of the
-  fuzz pipeline's wall-clock used to go.
+  executed by a **fork server**: one persistent process whose control
+  loop reads (case, input) requests over a pipe and ``fork()``s per
+  pair.  Each child inherits pristine globals through copy-on-write, so
+  trap isolation and state reset come for free — a trapping pair kills
+  only its child, and the server keeps answering without any re-exec.
+  The control loop is generic C compiled **once per process** into a
+  cached object file; per batch only a tiny symbol-table TU and the
+  concatenated assembly are compiled, and the build runs asynchronously
+  so callers can overlap it with other work (``ensure_built()`` joins
+  it).  The ARM leg runs the same server statically linked under one
+  persistent ``qemu-aarch64`` process.  The previous one-subprocess-per-
+  leg path (trap-attributing resume, globals snapshot/restore) is kept,
+  byte-identical in its verdicts, as the parity reference behind
+  ``fork_server=False``.
 
 Batching shares one process across cases, so per-case symbols are made
 unique: the entry point and every global are renamed ``__caseN_<name>``
@@ -32,11 +42,16 @@ a ``long long`` prototype makes the C caller do.
 
 from __future__ import annotations
 
+import atexit
+import os
 import platform
 import re
+import select
 import shutil
 import struct
 import subprocess
+import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -148,7 +163,9 @@ def _decode_buffer(data: bytes, buf: _Buffer, resolve) -> Any:
         for fld in buf.struct_type.fields:
             ftype = resolve(fld.type)
             offset = buf.struct_type.field_offset(fld.name)
-            out[fld.name] = _decode_scalar(data[offset : offset + ftype.sizeof()], ftype)
+            out[fld.name] = _decode_scalar(
+                data[offset : offset + ftype.sizeof()], ftype
+            )
         return out
     elem = buf.elem or ct.CHAR
     values = [
@@ -203,7 +220,9 @@ def _scalar_literal(value: Any, t: ct.CType) -> str:
     return f"(long long)0x{wrapped & 0xFFFFFFFFFFFFFFFF:016x}ULL"
 
 
-def _prototype(symbol: str, param_types: Sequence[ct.CType], return_type: ct.CType) -> str:
+def _prototype(
+    symbol: str, param_types: Sequence[ct.CType], return_type: ct.CType
+) -> str:
     args = ", ".join(
         "double" if isinstance(t, ct.FloatType) else "long long" for t in param_types
     ) or "void"
@@ -303,7 +322,9 @@ class NativeFunction:
         harness_path = workdir / f"{name}_{isa}_{opt_level}_main.c"
         harness_path.write_text(self._generate_harness())
         self.binary = workdir / f"{name}_{isa}_{opt_level}"
-        build, self._exec_prefix = _build_command(isa, self.binary, [harness_path, asm_path])
+        build, self._exec_prefix = _build_command(
+            isa, self.binary, [harness_path, asm_path]
+        )
         subprocess.run(build, check=True, capture_output=True, timeout=120)
 
     # -- C generation --------------------------------------------------------
@@ -347,7 +368,9 @@ class NativeFunction:
                 body.append(f"        printf(\"RET %lld\\n\", {call});")
             for j, buf in enumerate(buffers):
                 if buf is not None:
-                    body.append(f"        dump(\"ARG{j}\", in{index}_{j}, {len(buf.data)});")
+                    body.append(
+                        f"        dump(\"ARG{j}\", in{index}_{j}, {len(buf.data)});"
+                    )
             for gname, gsize in self.globals:
                 body.append(f"        dump(\"GLB:{gname}\", {gname}, {gsize});")
             body.append("    }")
@@ -393,7 +416,9 @@ class NativeFunction:
             elif tag.startswith("GLB:"):
                 gname = tag[4:]
                 data = b"" if payload == "-" else bytes.fromhex(payload)
-                global_values[gname] = _decode_global(data, self._context.global_type(gname))
+                global_values[gname] = _decode_global(
+                    data, self._context.global_type(gname)
+                )
         return NativeResult(return_value, arg_values, global_values)
 
     def expected(self, index: int):
@@ -453,17 +478,320 @@ def _rename_case_symbols(assembly: str, index: int, names: Sequence[str]) -> str
     return out
 
 
-class NativeBatch:
-    """Many cases, one binary per (ISA, opt level), one subprocess per run.
+# ---------------------------------------------------------------------------
+# Fork-server harness
+# ---------------------------------------------------------------------------
 
-    The dispatching harness executes every (case, input-vector) pair in
-    order, restoring the case's globals from a startup snapshot before each
-    call and bracketing each pair's output with ``PAIR n`` / ``DONE n``
-    markers.  A pair that traps kills the process *after* its ``PAIR``
-    marker has been flushed, so the parent knows exactly which observation
-    the signal belongs to, records it, and relaunches the binary starting
-    at the next pair.  Clean batches therefore cost exactly one subprocess;
-    each trap or timeout costs one more.
+#: Shared struct layout between the precompiled control loop and the
+#: generated per-batch symbol table.  Repeated verbatim in both TUs.
+_FORK_TABLE_DEFS = """\
+typedef struct { const char *name; unsigned char *addr; long size; } mc_global;
+typedef struct {
+    void (*fn)(void);
+    int ret_kind;            /* 0 void, 1 integer, 2 double */
+    int nglobals;
+    const mc_global *globals;
+} mc_case;
+"""
+
+#: The generic control loop.  Compiled once per (ISA) into a cached object
+#: file; every batch links it against a generated ``mc_cases`` table.  The
+#: parent never runs case code: it parses one request line, ``fork()``s,
+#: and the child calls the case through a universal trampoline.  The two
+#: trampoline shapes are sound because both SysV x86-64 and AAPCS64 assign
+#: integer-class arguments to integer registers in order and floating
+#: arguments to FP registers in order, independently — so a callee
+#: expecting any mix of <=6 integer and <=6 double parameters finds each
+#: of them exactly where the 12-argument prototype puts it.
+_FORK_HARNESS_C = (
+    """\
+#include <errno.h>
+#include <signal.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+"""
+    + _FORK_TABLE_DEFS
+    + """\
+extern const mc_case mc_cases[];
+
+typedef long long (*mc_ifn)(long long, long long, long long, long long, long long,
+                            long long, double, double, double, double, double, double);
+typedef double (*mc_dfn)(long long, long long, long long, long long, long long,
+                         long long, double, double, double, double, double, double);
+
+static volatile sig_atomic_t mc_alarm_fired;
+static void mc_on_alarm(int sig) { (void)sig; mc_alarm_fired = 1; }
+
+static void mc_dump_hex(const unsigned char *p, long n) {
+    if (n == 0) { printf("-\\n"); return; }
+    for (long i = 0; i < n; i++) printf("%02x", p[i]);
+    printf("\\n");
+}
+
+static int mc_hex_nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+}
+
+static char mc_line[1 << 20];
+
+int main(int argc, char **argv) {
+    long timeout_ms = argc > 1 ? atol(argv[1]) : 10000;
+    struct sigaction sa;
+    memset(&sa, 0, sizeof sa);
+    sa.sa_handler = mc_on_alarm; /* no SA_RESTART: waitpid must see EINTR */
+    sigaction(SIGALRM, &sa, 0);
+
+    while (fgets(mc_line, sizeof mc_line, stdin)) {
+        char *tok = strtok(mc_line, " \\n");
+        if (!tok || strcmp(tok, "R") != 0) continue;
+        tok = strtok(NULL, " \\n");
+        int case_index = tok ? atoi(tok) : 0;
+        tok = strtok(NULL, " \\n");
+        int nargs = tok ? atoi(tok) : 0;
+        const mc_case *c = &mc_cases[case_index];
+        long long ia[6] = {0};
+        double da[6] = {0};
+        int argkind[12] = {0};
+        unsigned char *argbuf[12] = {0};
+        long arglen[12] = {0};
+        int ni = 0, nd = 0, bad = (nargs < 0 || nargs > 12);
+        for (int j = 0; !bad && j < nargs; j++) {
+            tok = strtok(NULL, " \\n");
+            if (!tok) { bad = 1; break; }
+            if (tok[0] == 'i' && ni < 6) {
+                ia[ni++] = (long long)strtoull(tok + 1, 0, 16);
+            } else if (tok[0] == 'd' && nd < 6) {
+                union { unsigned long long u; double d; } cvt;
+                cvt.u = strtoull(tok + 1, 0, 16);
+                da[nd++] = cvt.d;
+            } else if (tok[0] == 'b' && ni < 6) {
+                long n = (long)strlen(tok + 1) / 2;
+                unsigned char *p = malloc(n ? n : 1);
+                for (long k = 0; k < n; k++) {
+                    int hi = mc_hex_nibble(tok[1 + 2 * k]);
+                    int lo = mc_hex_nibble(tok[2 + 2 * k]);
+                    if (hi < 0 || lo < 0) { bad = 1; break; }
+                    p[k] = (unsigned char)((hi << 4) | lo);
+                }
+                argkind[j] = 1;
+                argbuf[j] = p;
+                arglen[j] = n;
+                ia[ni++] = (long long)p;
+            } else {
+                bad = 1;
+            }
+        }
+        if (bad) {
+            for (int j = 0; j < nargs && j < 12; j++) free(argbuf[j]);
+            printf("\\nDONE bad-request\\n");
+            fflush(stdout);
+            continue;
+        }
+        /* The child inherits the stdout buffer: make sure it is empty so a
+           fork never duplicates parent output. */
+        fflush(stdout);
+        pid_t pid = fork();
+        if (pid < 0) { printf("\\nDONE fork-failed\\n"); fflush(stdout); continue; }
+        if (pid == 0) {
+            if (c->ret_kind == 2) {
+                double r = ((mc_dfn)c->fn)(ia[0], ia[1], ia[2], ia[3], ia[4], ia[5],
+                                           da[0], da[1], da[2], da[3], da[4], da[5]);
+                printf("RETF %.17g\\n", r);
+            } else if (c->ret_kind == 1) {
+                long long r = ((mc_ifn)c->fn)(ia[0], ia[1], ia[2], ia[3], ia[4], ia[5],
+                                              da[0], da[1], da[2], da[3], da[4], da[5]);
+                printf("RET %lld\\n", r);
+            } else {
+                ((mc_ifn)c->fn)(ia[0], ia[1], ia[2], ia[3], ia[4], ia[5],
+                                da[0], da[1], da[2], da[3], da[4], da[5]);
+            }
+            for (int j = 0; j < nargs; j++)
+                if (argkind[j]) { printf("ARG%d ", j); mc_dump_hex(argbuf[j], arglen[j]); }
+            for (int g = 0; g < c->nglobals; g++) {
+                printf("GLB:%s ", c->globals[g].name);
+                mc_dump_hex(c->globals[g].addr, c->globals[g].size);
+            }
+            fflush(stdout);
+            _exit(0);
+        }
+        mc_alarm_fired = 0;
+        struct itimerval itv;
+        memset(&itv, 0, sizeof itv);
+        itv.it_value.tv_sec = timeout_ms / 1000;
+        itv.it_value.tv_usec = (timeout_ms % 1000) * 1000;
+        setitimer(ITIMER_REAL, &itv, 0);
+        int status = 0, timed_out = 0;
+        for (;;) {
+            pid_t r = waitpid(pid, &status, 0);
+            if (r == pid) break;
+            if (r < 0 && errno == EINTR) {
+                if (mc_alarm_fired) { mc_alarm_fired = 0; timed_out = 1; kill(pid, SIGKILL); }
+                continue;
+            }
+            if (r < 0) { status = 0; break; }
+        }
+        memset(&itv, 0, sizeof itv);
+        setitimer(ITIMER_REAL, &itv, 0);
+        for (int j = 0; j < nargs; j++)
+            if (argkind[j]) free(argbuf[j]);
+        /* The leading newline terminates any partial line a killed child
+           left behind, so DONE always starts a fresh line. */
+        if (timed_out)
+            printf("\\nDONE timeout\\n");
+        else if (WIFSIGNALED(status))
+            printf("\\nDONE %d\\n", -WTERMSIG(status));
+        else
+            printf("\\nDONE %d\\n", WEXITSTATUS(status));
+        fflush(stdout);
+    }
+    return 0;
+}
+"""
+)
+
+_harness_objects: Dict[str, Path] = {}
+_harness_dir: Optional[Path] = None
+
+
+def _forkserver_harness_object(isa: str) -> Path:
+    """The control loop compiled for ``isa``, cached per process."""
+    global _harness_dir
+    cached = _harness_objects.get(isa)
+    if cached is not None:
+        return cached
+    if _harness_dir is None:
+        _harness_dir = Path(tempfile.mkdtemp(prefix="mc_forkserver_"))
+        atexit.register(shutil.rmtree, _harness_dir, ignore_errors=True)
+    source = _harness_dir / f"forkserver_{isa}.c"
+    source.write_text(_FORK_HARNESS_C)
+    obj = _harness_dir / f"forkserver_{isa}.o"
+    if isa == "arm" and platform.machine() != "aarch64":
+        cc = _arm_cross_compiler()
+        assert cc is not None, "no AArch64 cross compiler available"
+    else:
+        cc = "gcc"
+    subprocess.run(
+        [cc, "-O2", "-c", "-o", str(obj), str(source)],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    _harness_objects[isa] = obj
+    return obj
+
+
+def _forkserver_ret_kind(return_type: ct.CType) -> int:
+    if ct.is_void(return_type):
+        return 0
+    if isinstance(return_type, ct.FloatType):
+        return 2
+    return 1
+
+
+def _forkserver_supported(param_types: Sequence[ct.CType]) -> bool:
+    """True when the universal trampoline can call this signature.
+
+    The trampoline passes up to 6 integer-class and 6 double arguments —
+    register-only on both ABIs, matching the backends, and comfortably
+    above the generator's 5-parameter ceiling.  Anything wider falls back
+    to the per-pair subprocess harness.
+    """
+    ints = sum(1 for t in param_types if not isinstance(t, ct.FloatType))
+    floats = len(param_types) - ints
+    return ints <= 6 and floats <= 6
+
+
+def _request_token(value: Any, ptype: ct.CType, buf: Optional[_Buffer]) -> str:
+    """One request-line token, mirroring ``_scalar_literal``'s encoding."""
+    if buf is not None:
+        return "b" + bytes(buf.data).hex()
+    if isinstance(ptype, ct.FloatType):
+        bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+        return f"d{bits:016x}"
+    wrapped = ptype.wrap(int(value)) if isinstance(ptype, ct.IntType) else int(value)
+    return f"i{wrapped & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+class _ForkServer:
+    """One persistent harness process and its line-oriented pipe protocol."""
+
+    def __init__(self, command: Sequence[str]) -> None:
+        self.proc = subprocess.Popen(
+            list(command),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            bufsize=0,
+        )
+        self._buffer = b""
+
+    def send(self, line: str) -> bool:
+        try:
+            assert self.proc.stdin is not None
+            self.proc.stdin.write(line.encode("ascii"))
+            self.proc.stdin.flush()
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def read_line(self, deadline: float) -> Optional[str]:
+        """Next output line, or None on EOF/deadline (server considered dead)."""
+        assert self.proc.stdout is not None
+        fd = self.proc.stdout.fileno()
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[:newline]
+                self._buffer = self._buffer[newline + 1 :]
+                return line.decode("utf-8", "replace")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            ready, _, _ = select.select([fd], [], [], remaining)
+            if not ready:
+                return None
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                return None
+            self._buffer += chunk
+
+    def close(self) -> None:
+        try:
+            if self.proc.stdin is not None:
+                self.proc.stdin.close()
+            self.proc.wait(timeout=5)
+        except (OSError, subprocess.TimeoutExpired):
+            self.proc.kill()
+            self.proc.wait()
+
+
+class NativeBatch:
+    """Many cases, one binary per (ISA, opt level), one server per leg.
+
+    In the default **fork-server** mode the binary is the generic control
+    loop linked against a generated symbol table: the parent process reads
+    (case, input) requests over stdin, forks, and each child calls its
+    case through the universal trampoline and dumps the observable state.
+    Children inherit pristine globals by copy-on-write, so no snapshot or
+    restore is needed, and a trap costs one dead child instead of a
+    process relaunch.  Builds run asynchronously — ``ensure_built()``
+    joins the compile, and ``outcome()`` calls it implicitly.
+
+    With ``fork_server=False`` the previous dispatching harness is used:
+    it executes every pair in order in one subprocess, restoring globals
+    from a startup snapshot and bracketing each pair with ``PAIR n`` /
+    ``DONE n`` markers; a trapping pair kills the process *after* its
+    ``PAIR`` marker has been flushed, so the parent attributes the signal
+    and relaunches from the next pair.  Both modes produce byte-identical
+    outcomes; the subprocess mode is kept as the parity reference.
     """
 
     def __init__(
@@ -475,6 +803,7 @@ class NativeBatch:
         asm_transform: Optional[Callable[[str], str]] = None,
         run_timeout: float = 10.0,
         tag: str = "batch",
+        fork_server: Optional[bool] = None,
     ) -> None:
         self.opt_level = opt_level
         self.isa = isa
@@ -483,6 +812,10 @@ class NativeBatch:
         self._pairs: List[Tuple[int, int]] = []  # flat -> (case, input)
         self._outcomes: Optional[Dict[Tuple[int, int], Tuple[str, Any]]] = None
         self._failure: Optional[Exception] = None
+        self._requests: List[str] = []
+        self._build_proc: Optional[subprocess.Popen] = None
+        self._build_error: Optional[Exception] = None
+        self._build_cmd: List[str] = []
 
         asm_parts: List[str] = []
         for index, case in enumerate(cases):
@@ -507,15 +840,110 @@ class NativeBatch:
             for input_index in range(len(case.inputs)):
                 self._pairs.append((index, input_index))
 
+        if fork_server is None:
+            fork_server = True
+        self.fork_server = fork_server and all(
+            _forkserver_supported(entry.context.param_types()) for entry in self.entries
+        )
+
         asm_path = workdir / f"{tag}_{isa}_{opt_level}.s"
         asm_path.write_text("\n".join(asm_parts))
-        harness_path = workdir / f"{tag}_{isa}_{opt_level}_main.c"
-        harness_path.write_text(self._generate_harness())
         self.binary = workdir / f"{tag}_{isa}_{opt_level}"
-        build, self._exec_prefix = _build_command(isa, self.binary, [harness_path, asm_path])
-        subprocess.run(build, check=True, capture_output=True, timeout=300)
+        if self.fork_server:
+            table_path = workdir / f"{tag}_{isa}_{opt_level}_table.c"
+            table_path.write_text(self._generate_table())
+            sources = [_forkserver_harness_object(isa), table_path, asm_path]
+        else:
+            harness_path = workdir / f"{tag}_{isa}_{opt_level}_main.c"
+            harness_path.write_text(self._generate_harness())
+            sources = [harness_path, asm_path]
+        build, self._exec_prefix = _build_command(isa, self.binary, sources)
+        self._build_cmd = build
+        self._build_proc = subprocess.Popen(
+            build, stdout=subprocess.PIPE, stderr=subprocess.PIPE
+        )
+
+    def ensure_built(self) -> None:
+        """Join the asynchronous build, raising on compiler failure."""
+        if self._build_error is not None:
+            raise self._build_error
+        if self._build_proc is None:
+            return
+        proc = self._build_proc
+        self._build_proc = None
+        try:
+            stdout, stderr = proc.communicate(timeout=300)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            stdout, stderr = proc.communicate()
+            self._build_error = subprocess.CalledProcessError(
+                -9, self._build_cmd, stdout, stderr
+            )
+            raise self._build_error
+        if proc.returncode != 0:
+            self._build_error = subprocess.CalledProcessError(
+                proc.returncode, self._build_cmd, stdout, stderr
+            )
+            raise self._build_error
+
+    def abandon(self) -> None:
+        """Reap a still-running build whose results will never be used."""
+        if self._build_proc is not None:
+            self._build_proc.kill()
+            self._build_proc.communicate()
+            self._build_proc = None
+            self._build_error = BatchExecutionError("batch abandoned")
 
     # -- C generation --------------------------------------------------------
+
+    def _generate_table(self) -> str:
+        """The per-batch symbol table TU linked against the control loop.
+
+        Also encodes every (case, input) pair into its request line and
+        records the argument buffers, exactly as ``_generate_harness``
+        does for the subprocess mode.
+        """
+        lines = [_FORK_TABLE_DEFS]
+        for index, entry in enumerate(self.entries):
+            lines.append(f"extern void {entry.symbol}(void);")
+            for gname, _ in entry.globals:
+                lines.append(f"extern unsigned char {_mangle(index, gname)}[];")
+            if entry.globals:
+                rows = ", ".join(
+                    f'{{ "{gname}", {_mangle(index, gname)}, {gsize} }}'
+                    for gname, gsize in entry.globals
+                )
+                lines.append(
+                    f"static const mc_global mc_globals_{index}[] = {{ {rows} }};"
+                )
+        lines.append("const mc_case mc_cases[] = {")
+        for index, entry in enumerate(self.entries):
+            ret_kind = _forkserver_ret_kind(entry.context.return_type())
+            globals_ref = f"mc_globals_{index}" if entry.globals else "0"
+            lines.append(
+                f"    {{ {entry.symbol}, {ret_kind}, {len(entry.globals)}, {globals_ref} }},"
+            )
+        lines.append("};")
+        lines.append(f"const int mc_case_count = {len(self.entries)};")
+
+        # Requests are emitted in flat-pair order: cases in batch order,
+        # each case's input vectors in order — exactly ``self._pairs``.
+        self._requests = []
+        for case_index, entry in enumerate(self.entries):
+            param_types = entry.context.param_types()
+            entry.buffers = []
+            for args in entry.case.inputs:
+                buffers: List[Optional[_Buffer]] = []
+                tokens: List[str] = []
+                for value, ptype in zip(args, param_types):
+                    buf = _encode_argument(value, ptype, entry.context.resolve)
+                    buffers.append(buf)
+                    tokens.append(_request_token(value, ptype, buf))
+                entry.buffers.append(buffers)
+                self._requests.append(
+                    " ".join(["R", str(case_index), str(len(tokens)), *tokens]) + "\n"
+                )
+        return "\n".join(lines) + "\n"
 
     def _generate_harness(self) -> str:
         lines = [
@@ -644,11 +1072,100 @@ class NativeBatch:
                 record.append(line)
         return inflight, stdout, returncode
 
+    #: Restarts tolerated per pair before the batch is declared broken.
+    MAX_PAIR_RETRIES = 2
+
     def _execute(self) -> None:
         if self._failure is not None:
             raise self._failure
         if self._outcomes is not None:
             return
+        try:
+            self.ensure_built()
+        except Exception as exc:
+            self._failure = exc
+            raise
+        if self.fork_server:
+            self._execute_forkserver()
+        else:
+            self._execute_subprocess()
+
+    def _execute_forkserver(self) -> None:
+        self._outcomes = {}
+        server: Optional[_ForkServer] = None
+        command = self._exec_prefix + [
+            str(self.binary),
+            str(int(self.run_timeout * 1000)),
+        ]
+        try:
+            flat = 0
+            retries = 0
+            total = len(self._pairs)
+            while flat < total:
+                if server is None:
+                    server = _ForkServer(command)
+                code, record = self._request_pair(server, flat)
+                if code is None:
+                    # Server died or hung: restart and retry this pair.
+                    server.proc.kill()
+                    server.close()
+                    server = None
+                    retries += 1
+                    if retries > self.MAX_PAIR_RETRIES:
+                        self._outcomes = None
+                        self._failure = BatchExecutionError(
+                            f"fork server died repeatedly on pair {flat}"
+                        )
+                        raise self._failure
+                    continue
+                if code == "0":
+                    self._decode_pair(flat, record)
+                elif code == "timeout":
+                    self._outcomes[self._pairs[flat]] = ("limit", "execution timeout")
+                else:
+                    try:
+                        status = int(code)
+                    except ValueError:
+                        self._outcomes = None
+                        self._failure = BatchExecutionError(
+                            f"fork server rejected pair {flat}: {code}"
+                        )
+                        raise self._failure
+                    self._outcomes[self._pairs[flat]] = (
+                        "trap",
+                        f"exit status {status}",
+                    )
+                flat += 1
+                retries = 0
+        finally:
+            if server is not None:
+                server.close()
+
+    def _request_pair(
+        self, server: _ForkServer, flat: int
+    ) -> Tuple[Optional[str], List[str]]:
+        """Run one pair on the server: (DONE code, record lines).
+
+        A ``None`` code means the server is unusable (EOF, broken pipe, or
+        no response before the deadline) and the caller should restart it.
+        """
+        if not server.send(self._requests[flat]):
+            return None, []
+        # The server enforces the per-pair timeout itself; the deadline
+        # here only guards against the server process itself wedging.
+        deadline = time.monotonic() + self.run_timeout + 30.0
+        record: List[str] = []
+        while True:
+            line = server.read_line(deadline)
+            if line is None:
+                return None, []
+            if not line:
+                continue
+            if line.startswith("DONE "):
+                return line[5:], record
+            record.append(line)
+
+    def _execute_subprocess(self) -> None:
         self._outcomes = {}
         start = 0
         total = len(self._pairs)

@@ -81,7 +81,10 @@ class LegOutcome:
     def summary(self) -> str:
         if self.status != "ok":
             return f"{self.leg}: {self.status} ({self.detail})"
-        return f"{self.leg}: ret={self.return_value!r} args={self.arg_values!r} globals={self.globals!r}"
+        return (
+            f"{self.leg}: ret={self.return_value!r} "
+            f"args={self.arg_values!r} globals={self.globals!r}"
+        )
 
 
 @dataclass
@@ -143,6 +146,21 @@ CaseLike = Any
 CaseVerdict = Union[None, Divergence, Exception]
 
 
+@dataclass
+class PreparedBatch:
+    """In-flight state between :meth:`Oracle.prepare_batch` and
+    :meth:`Oracle.finish_batch`: native builds are compiling in the
+    background and the pure-Python reference legs have already run."""
+
+    cases: List[CaseLike]
+    contexts: List[Optional[CaseContext]]
+    verdicts: List[CaseVerdict]
+    active: List[int]
+    batches: Dict[str, Tuple["native.NativeBatch", Dict[Tuple[int, str], int]]]
+    reference: Dict[int, List[List["LegOutcome"]]]
+    fallback: bool = False
+
+
 class Oracle:
     """Differential harness comparing the available substrates.
 
@@ -161,6 +179,9 @@ class Oracle:
     breakage.  ``sanitize`` adds the report-only UBSan/ASan C leg of
     :mod:`repro.analysis.sanitize` (requires the x86 toolchain); pass
     ``True`` for the default config or a :class:`SanitizerConfig`.
+    ``fork_server`` selects the batched execution strategy: the default
+    fork-server harness, or (``False``) the one-subprocess-per-leg path
+    kept as the byte-identical parity reference.
     """
 
     def __init__(
@@ -173,8 +194,10 @@ class Oracle:
         verify_ir: bool = True,
         ir_transform=None,
         sanitize: Union[bool, SanitizerConfig, None] = None,
+        fork_server: bool = True,
     ) -> None:
         self.asm_transform = asm_transform
+        self.fork_server = fork_server
         self.include_ir_leg = include_ir_leg
         self.verify_ir = verify_ir
         self.ir_transform = ir_transform
@@ -402,19 +425,33 @@ class Oracle:
                 return "globals"
         return None
 
+    def _reference_outcomes(
+        self, context: CaseContext, args: Tuple
+    ) -> List[LegOutcome]:
+        outcomes = [self._run_interp(context, args)]
+        if self.include_ir_leg:
+            outcomes.append(self._run_ir(context, args))
+        return outcomes
+
     def _first_divergence(
         self,
         context: CaseContext,
         inputs: List[Tuple],
         native_outcomes: Callable[[int], List[LegOutcome]],
+        reference_legs: Optional[List[List[LegOutcome]]] = None,
     ) -> Optional[Divergence]:
         """Run the reference legs per input, splice in the native outcomes,
         and report the first divergence — shared by the per-case and the
-        batched paths so their verdicts cannot drift."""
+        batched paths so their verdicts cannot drift.  ``reference_legs``
+        passes pre-computed interpreter/IR outcomes (the batched path runs
+        them while the native builds compile in the background); the
+        comparison itself is identical either way.
+        """
         for index in range(len(inputs)):
-            outcomes = [self._run_interp(context, inputs[index])]
-            if self.include_ir_leg:
-                outcomes.append(self._run_ir(context, inputs[index]))
+            if reference_legs is not None:
+                outcomes = list(reference_legs[index])
+            else:
+                outcomes = self._reference_outcomes(context, inputs[index])
             outcomes.extend(native_outcomes(index))
             reference = outcomes[0]
             for other in outcomes[1:]:
@@ -483,7 +520,18 @@ class Oracle:
         :meth:`check_case` on each case individually; if the combined batch
         binary cannot be built or dies outside any case, the batch falls
         back to exactly that per-case path.
+
+        Internally this is :meth:`prepare_batch` + :meth:`finish_batch`;
+        callers that have a next batch ready can call them separately to
+        pipeline one batch's native builds under the next batch's Python
+        front half.
         """
+        return self.finish_batch(self.prepare_batch(cases))
+
+    def prepare_batch(self, cases: Sequence[CaseLike]) -> PreparedBatch:
+        """Front half of :meth:`check_batch`: parse, verify, lower and emit
+        every case, launch the native builds asynchronously, and run the
+        pure-Python reference legs while those builds compile."""
         contexts: List[Optional[CaseContext]] = []
         verdicts: List[CaseVerdict] = []
         for case in cases:
@@ -526,10 +574,15 @@ class Oracle:
             try:
                 for backend in self.native_backends:
                     for opt in ("O0", "O3"):
-                        assemblies[(index, backend, opt)] = context.assembly(backend, opt)
+                        assemblies[(index, backend, opt)] = context.assembly(
+                            backend, opt
+                        )
             except IRVerificationError as exc:
                 verdicts[index] = self._verifier_divergence(
-                    cases[index].source, cases[index].name, list(cases[index].inputs), exc
+                    cases[index].source,
+                    cases[index].name,
+                    list(cases[index].inputs),
+                    exc,
                 )
             except Exception as exc:
                 verdicts[index] = exc
@@ -542,7 +595,9 @@ class Oracle:
 
         # One batch binary per backend holds BOTH opt levels (entries are
         # interleaved per case), halving the build/run subprocesses again.
-        batches: Dict[str, Tuple[native.NativeBatch, Dict[Tuple[int, str], int]]] = {}
+        # Constructing a NativeBatch only *launches* its build — every
+        # backend's compiler runs concurrently in the background from here.
+        prepared = PreparedBatch(list(cases), contexts, verdicts, active, {}, {})
         try:
             for backend in self.native_backends:
                 batch_cases: List[native.BatchCase] = []
@@ -567,19 +622,52 @@ class Oracle:
                     isa=backend,
                     asm_transform=self.asm_transform,
                     tag=f"batch{self._batch_counter}",
+                    fork_server=self.fork_server,
                 )
-                batches[backend] = (batch, position)
+                prepared.batches[backend] = (batch, position)
         except (
-            subprocess.CalledProcessError,
-            subprocess.TimeoutExpired,  # the batch build itself can time out
-            native.BatchExecutionError,
+            subprocess.CalledProcessError,  # cached control-loop object build
+            subprocess.TimeoutExpired,
             OSError,
         ):
             # Whole-batch infrastructure failure: fall back to the per-case
             # path, which attributes build problems to the right case.
+            prepared.fallback = True
+            return prepared
+
+        # The pure-Python reference legs run while the native builds
+        # compile — this is the compile-while-execute pipeline.
+        for index in active:
+            context = contexts[index]
+            assert context is not None
+            prepared.reference[index] = [
+                self._reference_outcomes(context, args)
+                for args in list(cases[index].inputs)
+            ]
+        return prepared
+
+    def finish_batch(self, prepared: PreparedBatch) -> List[CaseVerdict]:
+        """Back half of :meth:`check_batch`: join the native builds, stream
+        every (case, input) pair through the batch executors, compare, and
+        run the sanitizer leg over the still-clean cases."""
+        cases = prepared.cases
+        contexts = prepared.contexts
+        verdicts = prepared.verdicts
+        if not prepared.fallback:
+            try:
+                for batch, _ in prepared.batches.values():
+                    batch.ensure_built()
+            except (
+                subprocess.CalledProcessError,
+                subprocess.TimeoutExpired,  # the batch build itself can time out
+                native.BatchExecutionError,
+                OSError,
+            ):
+                prepared.fallback = True
+        if prepared.fallback:
             return self._check_batch_fallback(cases, verdicts)
 
-        for index in active:
+        for index in prepared.active:
             context = contexts[index]
             assert context is not None
             inputs = list(cases[index].inputs)
@@ -587,7 +675,7 @@ class Oracle:
             def native_outcomes(input_index: int, index=index) -> List[LegOutcome]:
                 outcomes = []
                 for backend in self.native_backends:
-                    batch, position = batches[backend]
+                    batch, position = prepared.batches[backend]
                     for opt in ("O0", "O3"):
                         outcomes.append(
                             self._batch_outcome_to_leg(
@@ -598,7 +686,12 @@ class Oracle:
                 return outcomes
 
             try:
-                verdicts[index] = self._first_divergence(context, inputs, native_outcomes)
+                verdicts[index] = self._first_divergence(
+                    context,
+                    inputs,
+                    native_outcomes,
+                    reference_legs=prepared.reference[index],
+                )
             except native.BatchExecutionError:
                 verdicts[index] = self.check_case(
                     cases[index].source, cases[index].name, inputs
@@ -607,7 +700,7 @@ class Oracle:
         # Instrumented C leg, last: report-only, so IO divergences keep
         # precedence and only still-clean cases are submitted.
         if self.sanitizer_config is not None:
-            clean = [index for index in active if verdicts[index] is None]
+            clean = [index for index in prepared.active if verdicts[index] is None]
             entries = []
             for index in clean:
                 context = contexts[index]

@@ -39,7 +39,9 @@ from repro.testing.oracle import Oracle
 
 
 def _lowered_ir(source: str, name: str, opt_level: str = "O0") -> ir.IRFunction:
-    return lower_for_backend(parse_program(source), name=name, opt_level=opt_level).ir_func
+    return lower_for_backend(
+        parse_program(source), name=name, opt_level=opt_level
+    ).ir_func
 
 
 # ---------------------------------------------------------------------------

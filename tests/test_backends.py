@@ -35,7 +35,9 @@ def _assert_well_formed(assembly: str, isa: str, name: str) -> None:
     if isa == "x86":
         targets = re.findall(r"^\tj\w+\t(\.L\S+)$", assembly, re.M)
     else:
-        targets = re.findall(r"^\t(?:b|b\.\w+|cbn?z\t\w+,)\t?\s*(\.L\S+)$", assembly, re.M)
+        targets = re.findall(
+            r"^\t(?:b|b\.\w+|cbn?z\t\w+,)\t?\s*(\.L\S+)$", assembly, re.M
+        )
     defined = set(re.findall(r"^(\.L\S+):$", assembly, re.M))
     for target in targets:
         assert target in defined, f"{name}/{isa}: jump to undefined label {target}"
@@ -43,7 +45,9 @@ def _assert_well_formed(assembly: str, isa: str, name: str) -> None:
 
 @pytest.mark.parametrize("isa,opt", _GRID)
 @pytest.mark.parametrize(
-    "source,name", [(entry[0], entry[1]) for entry in CORPUS], ids=[e[1] for e in CORPUS]
+    "source,name", [(entry[0], entry[1]) for entry in CORPUS], ids=[
+        e[1] for e in CORPUS
+    ]
 )
 def test_corpus_compiles(source, name, isa, opt):
     compiled = compile_function(source, name=name, isa=isa, opt_level=opt)
@@ -58,7 +62,9 @@ def test_golden_add2(isa, opt):
     source = "int add2(int a, int b) { return a + b + 2; }\n"
     compiled = compile_function(source, isa=isa, opt_level=opt)
     golden = _GOLDEN_DIR / f"add2_{isa}_{opt}.s"
-    assert golden.exists(), f"golden file {golden} missing; regenerate with tests/make_golden.py"
+    assert golden.exists(), (
+        f"golden file {golden} missing; regenerate with tests/make_golden.py"
+    )
     assert compiled.assembly == golden.read_text(), (
         f"assembly for add2/{isa}/{opt} drifted from {golden}; "
         "regenerate with tests/make_golden.py if the change is intentional"

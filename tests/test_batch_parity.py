@@ -60,7 +60,9 @@ def test_check_batch_matches_check_case_without_native_legs():
     batch_verdicts = oracle.check_batch(cases)
     for case, batched in zip(cases, batch_verdicts):
         sequential = oracle.check_case(case.source, case.name, case.inputs)
-        assert (sequential is None) == (batched is None or isinstance(batched, Exception))
+        assert (sequential is None) == (
+            batched is None or isinstance(batched, Exception)
+        )
         assert not isinstance(batched, Exception)
         assert sequential is None and batched is None
 
@@ -85,7 +87,9 @@ def test_batched_verdicts_identical_to_sequential_fixed_seed():
     and a case where every leg traps is equally clean on both."""
     oracle = Oracle(backends=("x86",))
     cases = [generate_case(case_seed(5, index), max_stmts=8) for index in range(20)]
-    cases.append(_Case("int f(int a) {\n    return a / (a - a);\n}\n", "f", [(3,), (7,)]))
+    cases.append(
+        _Case("int f(int a) {\n    return a / (a - a);\n}\n", "f", [(3,), (7,)])
+    )
     batch_verdicts = oracle.check_batch(cases)
     for case, batched in zip(cases, batch_verdicts):
         sequential = oracle.check_case(case.source, case.name, list(case.inputs))
@@ -154,6 +158,134 @@ int bump(int k) {
     assert oracle.check_batch([case])[0] is None
     sequential = oracle.check_case(case.source, case.name, case.inputs)
     assert sequential is None
+
+
+# ---------------------------------------------------------------------------
+# Fork-server parity (the subprocess harness is the reference)
+# ---------------------------------------------------------------------------
+
+
+@needs_toolchain
+def test_forkserver_campaign_records_identical_to_subprocess():
+    """Fixed-seed campaign verdicts must not depend on the execution mode."""
+    fork = run_campaign(FuzzConfig(backends=("x86",), batch_size=8), 7, 16)
+    sub = run_campaign(
+        FuzzConfig(backends=("x86",), batch_size=8, fork_server=False), 7, 16
+    )
+    assert _records(fork) == _records(sub)
+    assert all(r.status == "ok" for r in fork)
+
+
+@needs_toolchain
+def test_forkserver_divergences_byte_identical_to_subprocess():
+    """Under a deterministic miscompile the two modes must produce the very
+    same ``Divergence.describe()`` text — same diverging leg, same values,
+    same report bytes."""
+    cases = [generate_case(case_seed(0, index), max_stmts=8) for index in range(12)]
+    fork_oracle = Oracle(
+        backends=("x86",), asm_transform=_swap_first_addl, fork_server=True
+    )
+    sub_oracle = Oracle(
+        backends=("x86",), asm_transform=_swap_first_addl, fork_server=False
+    )
+    fork_verdicts = fork_oracle.check_batch(cases)
+    sub_verdicts = sub_oracle.check_batch(cases)
+    divergences = 0
+    for fork_verdict, sub_verdict in zip(fork_verdicts, sub_verdicts):
+        assert not isinstance(fork_verdict, Exception), fork_verdict
+        assert not isinstance(sub_verdict, Exception), sub_verdict
+        assert (fork_verdict is None) == (sub_verdict is None)
+        if fork_verdict is not None:
+            divergences += 1
+            assert fork_verdict.describe() == sub_verdict.describe()
+    assert divergences >= 1, "deterministic miscompile produced no divergence"
+
+
+@needs_toolchain
+def test_forkserver_outcomes_byte_identical_to_subprocess_with_traps():
+    """Every (case, input) outcome — ok values, trap attribution strings —
+    must match the subprocess reference byte for byte."""
+    import tempfile
+    from pathlib import Path
+
+    trap = _Case("int f(int a) {\n    return 7 / a;\n}\n", "f", [(0,), (2,), (0,)])
+    clean = _Case("int g(int a) {\n    return a * 3;\n}\n", "g", [(1,), (-5,)])
+    glob = _Case(
+        "int acc = 2;\n\nint h(int k) {\n    acc += k;\n    return acc;\n}\n",
+        "h",
+        [(5,), (0,)],
+    )
+    cases = [trap, clean, glob]
+
+    def outcomes(fork_server):
+        with tempfile.TemporaryDirectory() as tmp:
+            batch = NativeBatch(
+                [BatchCase(c.source, c.name, list(c.inputs)) for c in cases],
+                "O0",
+                Path(tmp),
+                fork_server=fork_server,
+            )
+            assert batch.fork_server == fork_server
+            table = {}
+            for case_index, case in enumerate(cases):
+                for input_index in range(len(case.inputs)):
+                    status, payload = batch.outcome(case_index, input_index)
+                    if status == "ok":
+                        table[(case_index, input_index)] = (
+                            status,
+                            payload.return_value,
+                            list(payload.arg_values),
+                            dict(payload.globals),
+                        )
+                    else:
+                        table[(case_index, input_index)] = (status, str(payload))
+            return table
+
+    fork_table = outcomes(True)
+    sub_table = outcomes(False)
+    assert fork_table == sub_table
+    assert fork_table[(0, 0)][0] == "trap"
+    assert "exit status" in fork_table[(0, 0)][1]
+    assert fork_table[(0, 1)] == ("ok", 3, [2], {})
+
+
+@needs_toolchain
+def test_forkserver_recovers_from_killed_server(monkeypatch):
+    """Killing the persistent server mid-batch must cost nothing but a
+    restart: every pair still gets its correct outcome."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.testing import native as native_mod
+
+    cases = [
+        _Case("int f(int a) {\n    return a + 10;\n}\n", "f", [(1,), (2,), (3,)]),
+        _Case("int g(int a) {\n    return a * a;\n}\n", "g", [(4,), (5,)]),
+    ]
+    original_send = native_mod._ForkServer.send
+    calls = {"count": 0}
+
+    def killing_send(self, line):
+        calls["count"] += 1
+        if calls["count"] == 3:  # mid-batch: pairs 1-2 served, pair 3 pending
+            self.proc.kill()
+            self.proc.wait()
+        return original_send(self, line)
+
+    monkeypatch.setattr(native_mod._ForkServer, "send", killing_send)
+    with tempfile.TemporaryDirectory() as tmp:
+        batch = NativeBatch(
+            [BatchCase(c.source, c.name, list(c.inputs)) for c in cases],
+            "O0",
+            Path(tmp),
+            fork_server=True,
+        )
+        assert batch.fork_server
+        expected = {(0, 0): 11, (0, 1): 12, (0, 2): 13, (1, 0): 16, (1, 1): 25}
+        for (case_index, input_index), value in expected.items():
+            status, result = batch.outcome(case_index, input_index)
+            assert status == "ok" and result.return_value == value
+    assert calls["count"] > 3, "the killed request was never retried"
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,11 @@ from corpus import CORPUS
 def _optimized_program(program: ast.Program, name: str) -> ast.Program:
     decls = []
     for decl in program.decls:
-        if isinstance(decl, ast.FunctionDef) and decl.name == name and decl.body is not None:
+        if (
+            isinstance(decl, ast.FunctionDef)
+            and decl.name == name
+            and decl.body is not None
+        ):
             decls.append(optimize_function_ast(decl))
         else:
             decls.append(decl)

@@ -223,6 +223,28 @@ def test_batch_scoring_is_byte_identical_to_per_candidate():
 
 
 @needs_toolchain
+def test_every_execution_path_is_byte_identical():
+    """Fork-server groups, subprocess groups, per-candidate binaries and
+    sharded workers are interchangeable: same report bytes from all four."""
+    entries, sets = _small_dataset(seed=17, functions=4, candidates=6)
+
+    def comparable(report):
+        report["config"]["batched"] = None
+        report["config"]["fork_server"] = None
+        return json.dumps(report, sort_keys=True)
+
+    fork = comparable(score_dataset(entries, sets, backend="x86"))
+    sub = comparable(
+        score_dataset(entries, sets, backend="x86", fork_server=False)
+    )
+    single = comparable(
+        score_dataset(entries, sets, backend="x86", use_batch=False)
+    )
+    sharded = comparable(score_dataset(entries, sets, backend="x86", jobs=3))
+    assert fork == sub == single == sharded
+
+
+@needs_toolchain
 def test_report_is_stable_under_fixed_seed():
     entries, sets = _small_dataset(seed=21, functions=3, candidates=5)
     first = score_dataset(entries, sets, backend="x86")
@@ -231,7 +253,9 @@ def test_report_is_stable_under_fixed_seed():
     assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
     # Schema pin: downstream consumers (CI artifact, bench) rely on these.
     assert first["schema"] == 1
-    assert set(first["config"]) == {"backend", "opt_level", "batched", "lint"}
+    assert set(first["config"]) == {
+        "backend", "opt_level", "batched", "fork_server", "lint"
+    }
     aggregate = first["aggregate"]
     assert set(aggregate) >= {
         "functions",

@@ -250,14 +250,18 @@ def test_injected_miscompile_is_caught_and_reduced():
     case = None
     for index in range(40):
         candidate = generate_case(case_seed(0, index))
-        divergence = oracle.check_case(candidate.source, candidate.name, candidate.inputs)
+        divergence = oracle.check_case(
+            candidate.source, candidate.name, candidate.inputs
+        )
         if divergence is not None:
             case = candidate
             break
     assert divergence is not None, "fuzzer failed to catch the injected miscompile"
 
     predicate = oracle_interestingness(oracle, case.name)
-    result = reduce_case(case.source, case.name, case.inputs, predicate, max_attempts=300)
+    result = reduce_case(
+        case.source, case.name, case.inputs, predicate, max_attempts=300
+    )
     assert len(result.source.strip().splitlines()) <= 15, result.source
     assert oracle.check_case(result.source, case.name, result.inputs) is not None
 

@@ -54,7 +54,9 @@ def test_fold_matches_interpreter():
         ret.value = fold_constants_expr(ret.value)
         assert isinstance(ret.value, ast.IntLiteral), f"{expr_text} did not fold"
         folded = Interpreter(folded_program).run_function("f", []).return_value
-        assert folded == expected, f"{expr_text}: folded {folded} != interpreted {expected}"
+        assert folded == expected, (
+            f"{expr_text}: folded {folded} != interpreted {expected}"
+        )
 
 
 def test_fold_shift_example_from_issue():

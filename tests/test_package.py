@@ -6,7 +6,12 @@ import importlib
 import pytest
 
 import repro.compiler as compiler_pkg
-from repro.compiler import CompileError, CompiledFunction, compile_function, compile_program
+from repro.compiler import (
+    CompileError,
+    CompiledFunction,
+    compile_function,
+    compile_program,
+)
 
 
 def test_advertised_entry_points_importable():
@@ -84,7 +89,9 @@ int thrice(int x) { return 3 * x; }
     grid = compile_program(source)
     assert set(grid) == {"twice", "thrice"}
     for per_func in grid.values():
-        assert set(per_func) == {("x86", "O0"), ("x86", "O3"), ("arm", "O0"), ("arm", "O3")}
+        assert set(per_func) == {
+            ("x86", "O0"), ("x86", "O3"), ("arm", "O0"), ("arm", "O3")
+        }
         for compiled in per_func.values():
             assert compiled.assembly.strip()
 
