@@ -18,7 +18,11 @@ package reproduces that loop end to end on the Mini-C pipeline:
   parse -> typecheck -> compile -> execute-on-IO-vectors and receives one
   of six verdicts, with the N candidates of one function executed as a
   single :class:`repro.testing.native.NativeBatch` and a normalized edit
-  similarity as the secondary metric.
+  similarity as the secondary metric;
+* :mod:`repro.eval.repair` — the permuter on top of the scorer
+  (``python -m repro.eval.repair``): near-miss candidates (``io_mismatch``
+  / ``type_error`` / ``trap``) are beam-searched toward ``io_equivalent``
+  over the reversed mutation inventory, with resumable campaign state.
 """
 
 from typing import List
@@ -29,14 +33,19 @@ __all__: List[str] = [
     "build_dataset",
     "generated_entries",
     "classify_observations",
+    "classify_with_diffs",
+    "observation_diff",
     "front_end_gate",
     "Candidate",
     "Mutator",
     "make_candidates",
+    "repair_neighbors",
     "CandidateScore",
     "score_candidates",
     "score_dataset",
     "edit_similarity",
+    "RepairConfig",
+    "repair_campaign",
 ]
 
 
@@ -47,12 +56,14 @@ def __getattr__(name: str):
         "build_dataset",
         "generated_entries",
         "classify_observations",
+        "classify_with_diffs",
+        "observation_diff",
         "front_end_gate",
     ):
         from repro.eval import dataset
 
         return getattr(dataset, name)
-    if name in ("Candidate", "Mutator", "make_candidates"):
+    if name in ("Candidate", "Mutator", "make_candidates", "repair_neighbors"):
         from repro.eval import mutate
 
         return getattr(mutate, name)
@@ -62,4 +73,8 @@ def __getattr__(name: str):
         from repro.eval import score
 
         return getattr(score, name)
+    if name in ("RepairConfig", "repair_campaign"):
+        from repro.eval import repair
+
+        return getattr(repair, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

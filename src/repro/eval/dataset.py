@@ -151,6 +151,63 @@ def interpreter_observation(context: CaseContext, args: Tuple) -> Observation:
     )
 
 
+def observation_diff(
+    index: int, ref: Observation, cand: Observation
+) -> Optional[Tuple[str, str]]:
+    """The per-input divergence between one reference/candidate pair.
+
+    Returns ``None`` when the two observations agree under the oracle's
+    IO-equivalence notion, else ``(category, detail)`` with ``category``
+    one of ``"trap"`` (the candidate faults or exhausts its budget where
+    the reference does not) or ``"mismatch"`` (both finish but an
+    observable value differs, or the reference traps and the candidate
+    does not).  The repair search scores candidates by the *fraction* of
+    inputs whose diff is ``None`` — a finer signal than the verdict alone.
+    """
+    if cand.status == "limit":
+        return "trap", f"input #{index}: resource limit ({cand.detail})"
+    if cand.status == "trap" and ref.status != "trap":
+        return "trap", f"input #{index}: {cand.detail or 'runtime trap'}"
+    if cand.status == "ok" and ref.status == "trap":
+        return "mismatch", f"input #{index}: reference traps, candidate does not"
+    if cand.status == "ok" and ref.status == "ok":
+        field_name = _first_value_mismatch(ref, cand)
+        if field_name is not None:
+            return "mismatch", f"input #{index}: {field_name} differs"
+    return None
+
+
+def classify_with_diffs(
+    reference: Sequence[Observation], candidate: Sequence[Observation]
+) -> Tuple[str, str, List[Optional[Tuple[str, str]]]]:
+    """(verdict, detail, per-input diffs) — see :func:`classify_observations`.
+
+    The diff list has one entry per compared input (``None`` = agreement);
+    the verdict and detail are exactly what :func:`classify_observations`
+    returns: a trap anywhere takes precedence over a value mismatch, and
+    the detail names the first input exhibiting the winning category.
+    """
+    diffs: List[Optional[Tuple[str, str]]] = [
+        observation_diff(index, ref, cand)
+        for index, (ref, cand) in enumerate(zip(reference, candidate))
+    ]
+    trap_detail = next(
+        (detail for diff in diffs if diff is not None
+         for category, detail in (diff,) if category == "trap"),
+        None,
+    )
+    mismatch_detail = next(
+        (detail for diff in diffs if diff is not None
+         for category, detail in (diff,) if category == "mismatch"),
+        None,
+    )
+    if trap_detail is not None:
+        return "trap", trap_detail, diffs
+    if mismatch_detail is not None:
+        return "io_mismatch", mismatch_detail, diffs
+    return "io_equivalent", "", diffs
+
+
 def classify_observations(
     reference: Sequence[Observation], candidate: Sequence[Observation]
 ) -> Tuple[str, str]:
@@ -164,24 +221,8 @@ def classify_observations(
     counts as a trap (a candidate that cannot finish within budget is not
     IO-equivalent in any usable sense).
     """
-    trap_detail: Optional[str] = None
-    mismatch_detail: Optional[str] = None
-    for index, (ref, cand) in enumerate(zip(reference, candidate)):
-        if cand.status == "limit" and trap_detail is None:
-            trap_detail = f"input #{index}: resource limit ({cand.detail})"
-        elif cand.status == "trap" and ref.status != "trap" and trap_detail is None:
-            trap_detail = f"input #{index}: {cand.detail or 'runtime trap'}"
-        elif cand.status == "ok" and ref.status == "trap" and mismatch_detail is None:
-            mismatch_detail = f"input #{index}: reference traps, candidate does not"
-        elif cand.status == "ok" and ref.status == "ok" and mismatch_detail is None:
-            field_name = _first_value_mismatch(ref, cand)
-            if field_name is not None:
-                mismatch_detail = f"input #{index}: {field_name} differs"
-    if trap_detail is not None:
-        return "trap", trap_detail
-    if mismatch_detail is not None:
-        return "io_mismatch", mismatch_detail
-    return "io_equivalent", ""
+    verdict, detail, _ = classify_with_diffs(reference, candidate)
+    return verdict, detail
 
 
 def _first_value_mismatch(ref: Observation, cand: Observation) -> Optional[str]:

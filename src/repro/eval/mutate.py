@@ -33,7 +33,7 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.compiler.driver import CompileError, lower_for_backend
 from repro.eval.dataset import (
@@ -45,9 +45,17 @@ from repro.eval.dataset import (
 )
 from repro.lang import ast_nodes as ast
 from repro.lang import ctypes as ct
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError, parse_program
 from repro.lang.printer import print_program
 from repro.testing.frontend import CaseContext
-from repro.testing.reduce import expr_slots, get_slot, set_slot, walk_stmt_lists
+from repro.testing.reduce import (
+    expr_slots,
+    get_slot,
+    set_slot,
+    subexpressions,
+    walk_stmt_lists,
+)
 
 #: Operators whose operands may be swapped without changing the result
 #: (on integer operands; the mutator checks the annotated types).
@@ -651,3 +659,184 @@ class Mutator:
 def make_candidates(entry: DatasetEntry, count: int, seed: int) -> List[Candidate]:
     """Convenience wrapper: a deterministic candidate set for one entry."""
     return Mutator(seed).candidates(entry, count)
+
+
+# ---------------------------------------------------------------------------
+# Repair neighborhoods: the breaking-mutation inventory, run in reverse
+# ---------------------------------------------------------------------------
+
+#: Integer types the ``cast_insert`` repair family wraps expressions in
+#: (the inverse of the ``drop_cast`` breaking mutation).
+_CAST_TYPES: Tuple[ct.IntType, ...] = (
+    ct.CHAR, ct.UCHAR, ct.SHORT, ct.USHORT, ct.INT, ct.UINT, ct.LONG, ct.ULONG
+)
+
+
+def _op_alternatives(op: str) -> List[str]:
+    """Replacement operators for ``op``, inverse direction first.
+
+    The inverse image of :data:`_WRONG_OP` undoes a ``swap_op`` mutation
+    exactly (the candidate holds the *wrong* operator, so mapping it back
+    recovers the reference's); the forward image rides along because the
+    search cannot know which direction a break went.  The order is fixed
+    and RNG-free so the repair stream is reproducible.
+    """
+    alternatives: List[str] = []
+    for alt in sorted(k for k, v in _WRONG_OP.items() if v == op):
+        if alt != op and alt not in alternatives:
+            alternatives.append(alt)
+    forward = _WRONG_OP.get(op)
+    if forward is not None and forward != op and forward not in alternatives:
+        alternatives.append(forward)
+    return alternatives
+
+
+def _binop_sites(func: ast.FunctionDef) -> List[ast.BinaryOp]:
+    return [n for n in _walk_nodes(func) if isinstance(n, ast.BinaryOp)]
+
+
+def _literal_slots(func: ast.FunctionDef) -> List[Tuple[ast.Node, str, Optional[int]]]:
+    return [
+        (parent, attr, index)
+        for parent, attr, index in expr_slots(func)
+        if isinstance(get_slot(parent, attr, index), ast.IntLiteral)
+    ]
+
+
+def _sign_sites(func: ast.FunctionDef) -> List:
+    return _int_decl_slots(func) + [
+        n
+        for n in _walk_nodes(func)
+        if isinstance(n, ast.Cast) and isinstance(n.target_type, ct.IntType)
+    ]
+
+
+def _conditional_sites(func: ast.FunctionDef) -> List:
+    return [
+        n
+        for n in _walk_nodes(func)
+        if isinstance(n, (ast.If, ast.While, ast.DoWhile))
+        or (isinstance(n, ast.For) and n.cond is not None)
+    ]
+
+
+def repair_neighbors(source: str, name: str) -> Iterator[Tuple[str, str]]:
+    """Deterministic ``(kind, text)`` repair-edit stream for a near-miss.
+
+    Each yielded text is ``source`` with one AST edit applied — the
+    breaking-mutation inventory run *in reverse* (operator un-swaps,
+    literal nudges, signedness flips, condition un-negations, cast
+    insertion) plus reducer-style simplifications (expression collapse,
+    statement drops).  Families are ordered so the exact inverses of the
+    common single-edit breaks come first and the speculative wide families
+    (``cast_insert``: every expression slot x every integer type) come
+    last.
+
+    The stream carries no RNG and its order depends only on ``source``:
+    the beam search persists a cursor into it and reproduces the exact
+    continuation on ``--resume``.  It is lazy — one AST deep copy per
+    *consumed* neighbor.  Sources that do not parse or do not define
+    ``name`` yield nothing (``parse_error`` candidates cannot be repaired
+    by AST edits).
+    """
+    try:
+        base = parse_program(source)
+    except (ParseError, LexError, RecursionError):
+        return
+    func = base.function(name)
+    if func is None:
+        return
+
+    edits: List[Tuple[str, Callable[[ast.FunctionDef], None]]] = []
+
+    # 1. op_swap: undoes the swap_op mutation (inverse direction first).
+    for index, node in enumerate(_binop_sites(func)):
+        for alt in _op_alternatives(node.op):
+            edits.append(
+                ("op_swap", lambda f, i=index, a=alt: setattr(_binop_sites(f)[i], "op", a))
+            )
+
+    # 2. literal_nudge: undoes bump_literal (and half of zero_divisor).
+    def _nudge(f: ast.FunctionDef, i: int, d: int) -> None:
+        parent, attr, index = _literal_slots(f)[i]
+        literal = get_slot(parent, attr, index)
+        set_slot(parent, attr, index, ast.IntLiteral(literal.value + d))
+
+    for index in range(len(_literal_slots(func))):
+        for delta in (1, -1):
+            edits.append(("literal_nudge", lambda f, i=index, d=delta: _nudge(f, i, d)))
+
+    # 3. sign_flip: undoes flip_signedness (an involution).
+    def _flip_sign(f: ast.FunctionDef, i: int) -> None:
+        site = _sign_sites(f)[i]
+        if isinstance(site, ast.Declaration):
+            site.type = _FLIPPED_SIGN[(site.type.rank, not site.type.unsigned)]
+        else:
+            site.target_type = _FLIPPED_SIGN[
+                (site.target_type.rank, not site.target_type.unsigned)
+            ]
+
+    for index in range(len(_sign_sites(func))):
+        edits.append(("sign_flip", lambda f, i=index: _flip_sign(f, i)))
+
+    # 4. condition_flip: unwraps a ``!`` (undoing negate_condition) or
+    #    wraps one (the forward direction, for symmetric coverage).
+    def _flip_cond(f: ast.FunctionDef, i: int) -> None:
+        site = _conditional_sites(f)[i]
+        if isinstance(site.cond, ast.UnaryOp) and site.cond.op == "!":
+            site.cond = site.cond.operand
+        else:
+            site.cond = ast.UnaryOp("!", site.cond)
+
+    for index in range(len(_conditional_sites(func))):
+        edits.append(("condition_flip", lambda f, i=index: _flip_cond(f, i)))
+
+    # 5. collapse: replace an expression by one of its direct children
+    #    (the reducer's move; undoes wrapper breaks such as bump_return).
+    def _collapse(f: ast.FunctionDef, slot: int, child: int) -> None:
+        parent, attr, index = list(expr_slots(f))[slot]
+        set_slot(parent, attr, index, subexpressions(get_slot(parent, attr, index))[child])
+
+    for slot_index, (parent, attr, index) in enumerate(expr_slots(func)):
+        for child_index in range(len(subexpressions(get_slot(parent, attr, index)))):
+            edits.append(
+                ("collapse", lambda f, s=slot_index, c=child_index: _collapse(f, s, c))
+            )
+
+    # 6. stmt_drop: repairs candidates whose break *added* a statement
+    #    (and type_error candidates carrying one injected bad statement).
+    def _drop_stmt(f: ast.FunctionDef, list_index: int, stmt_index: int) -> None:
+        del list(walk_stmt_lists(f))[list_index][stmt_index]
+
+    for list_index, stmts in enumerate(walk_stmt_lists(func)):
+        for stmt_index in range(len(stmts)):
+            edits.append(
+                (
+                    "stmt_drop",
+                    lambda f, li=list_index, si=stmt_index: _drop_stmt(f, li, si),
+                )
+            )
+
+    # 7. cast_insert: the wide family (every expression slot x every
+    #    integer type), last so cheaper exact inverses are tried first.
+    def _insert_cast(f: ast.FunctionDef, slot: int, ctype: ct.IntType) -> None:
+        parent, attr, index = list(expr_slots(f))[slot]
+        set_slot(parent, attr, index, ast.Cast(ctype, get_slot(parent, attr, index)))
+
+    for slot_index in range(len(list(expr_slots(func)))):
+        for ctype in _CAST_TYPES:
+            edits.append(
+                ("cast_insert", lambda f, s=slot_index, t=ctype: _insert_cast(f, s, t))
+            )
+
+    for kind, edit in edits:
+        program = copy.deepcopy(base)
+        edited = program.function(name)
+        assert edited is not None
+        try:
+            edit(edited)
+        except Exception:
+            continue
+        text = print_program(program)
+        if text != source:
+            yield kind, text

@@ -57,7 +57,7 @@ from repro.compiler.driver import CompileError
 from repro.eval.dataset import (
     DatasetEntry,
     Observation,
-    classify_observations,
+    classify_with_diffs,
     front_end_gate,
     generated_entries,
     interpreter_observation,
@@ -132,14 +132,16 @@ def edit_similarity(candidate: str, reference: str) -> float:
     """Normalized edit similarity in [0, 1]: 1 - dist / max_len.
 
     Computed over lexer tokens so formatting differences don't count;
-    candidates the lexer rejects fall back to a whitespace-normalized
-    character comparison.
+    candidates the lexer rejects fall back to whitespace tokenization, so
+    both paths measure edits in *tokens* (the fallback previously compared
+    whitespace-joined strings character by character, which made unlexable
+    candidates score on a different — much finer — scale).
     """
     a = _token_texts(candidate)
     b = _token_texts(reference)
     if a is None or b is None:
-        a = " ".join(candidate.split())
-        b = " ".join(reference.split())
+        a = tuple(candidate.split())
+        b = tuple(reference.split())
     longest = max(len(a), len(b))
     if longest == 0:
         return 1.0
@@ -168,6 +170,11 @@ class CandidateScore:
     #: The verdict above was assigned by the lint pre-filter, without
     #: compiling or executing the candidate.
     lint_prefilter: bool = False
+    #: Fraction of IO vectors on which the candidate's observation agrees
+    #: with the reference's (the repair search's primary score).  ``None``
+    #: when the candidate never executed (front-end failure, build failure
+    #: or lint pre-filter skip).
+    agreement: Optional[float] = None
 
     @property
     def matches_expected(self) -> bool:
@@ -180,6 +187,8 @@ class CandidateScore:
             "similarity": self.similarity,
             "detail": self.detail,
         }
+        if self.agreement is not None:
+            out["agreement"] = self.agreement
         if self.lint_flagged:
             out["lint_flagged"] = True
         if self.lint_prefilter:
@@ -316,9 +325,14 @@ def _finalize_scores(
             # counts against ground-truth agreement.
             scores[index].verdict, scores[index].detail = obs
             continue
-        verdict, detail = classify_observations(entry.reference, obs)
+        verdict, detail, diffs = classify_with_diffs(entry.reference, obs)
         scores[index].verdict = verdict
         scores[index].detail = detail
+        scores[index].agreement = (
+            round(sum(1 for diff in diffs if diff is None) / len(diffs), 6)
+            if diffs
+            else 1.0
+        )
 
 
 def score_candidates(
@@ -330,6 +344,7 @@ def score_candidates(
     workdir: Optional[Path] = None,
     lint: bool = True,
     fork_server: bool = True,
+    run_timeout: float = 10.0,
 ) -> List[CandidateScore]:
     """Score one function's candidate set against its IO vectors.
 
@@ -362,7 +377,8 @@ def score_candidates(
             entry, candidates, backend, opt_level, lint
         )
         observations = _execute_survivors(
-            entry, survivors, backend, opt_level, use_batch, workdir, fork_server
+            entry, survivors, backend, opt_level, use_batch, workdir, fork_server,
+            run_timeout
         )
         _finalize_scores(entry, scores, survivors, observations)
         return scores
@@ -379,6 +395,7 @@ def _execute_survivors(
     use_batch: bool,
     workdir: Optional[Path],
     fork_server: bool = True,
+    run_timeout: float = 10.0,
 ) -> List[Union[List[Observation], Tuple[str, str]]]:
     """One observation list per survivor, or a (verdict, detail) failure."""
     if not survivors:
@@ -390,14 +407,14 @@ def _execute_survivors(
     assert workdir is not None
     if use_batch:
         outcome = _execute_batch(
-            entry, survivors, backend, opt_level, workdir, fork_server
+            entry, survivors, backend, opt_level, workdir, fork_server, run_timeout
         )
         if outcome is not None:
             return outcome
         # Whole-batch build/run failure: fall back to the per-candidate
         # path, which attributes the problem to the right candidate.
     return [
-        _execute_single(entry, context, backend, opt_level, workdir)
+        _execute_single(entry, context, backend, opt_level, workdir, run_timeout)
         for _, context in survivors
     ]
 
@@ -409,6 +426,7 @@ def _execute_batch(
     opt_level: str,
     workdir: Path,
     fork_server: bool = True,
+    run_timeout: float = 10.0,
 ) -> Optional[List[List[Observation]]]:
     cases = [
         native.BatchCase(
@@ -425,6 +443,7 @@ def _execute_batch(
             opt_level,
             workdir,
             isa=backend,
+            run_timeout=run_timeout,
             tag=f"eval_{entry.uid}",
             fork_server=fork_server,
         )
@@ -454,6 +473,7 @@ def _execute_single(
     backend: str,
     opt_level: str,
     workdir: Path,
+    run_timeout: float = 10.0,
 ) -> Union[List[Observation], Tuple[str, str]]:
     try:
         fn = native.NativeFunction(
@@ -463,6 +483,7 @@ def _execute_single(
             opt_level,
             workdir,
             isa=backend,
+            run_timeout=run_timeout,
             context=context,
         )
     except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError) as exc:
@@ -495,10 +516,11 @@ def _execute_single(
 # Whole-dataset scoring and the JSON report
 # ---------------------------------------------------------------------------
 
-#: Cap on gate survivors per cross-function native build.  Entries are
-#: never split across groups, so a group build/run failure can fall back
-#: to exactly the per-entry execution path.
-EVAL_GROUP_CASES = 32
+#: Cap on gate survivors per cross-function native build (see
+#: :data:`repro.testing.native.DEFAULT_GROUP_CASES` — the grouping itself
+#: lives in :class:`repro.testing.native.GroupedBatchRunner` now, shared
+#: with the repair search).
+EVAL_GROUP_CASES = native.DEFAULT_GROUP_CASES
 
 
 def _score_entries(
@@ -509,6 +531,7 @@ def _score_entries(
     use_batch: bool = True,
     lint: bool = True,
     fork_server: bool = True,
+    run_timeout: float = 10.0,
 ) -> List[List[CandidateScore]]:
     """One CandidateScore list per entry (the unit one ``--jobs`` worker runs).
 
@@ -530,6 +553,7 @@ def _score_entries(
                 use_batch=use_batch,
                 lint=lint,
                 fork_server=fork_server,
+                run_timeout=run_timeout,
             )
             for entry, candidates in zip(entries, candidate_sets)
         ]
@@ -539,93 +563,46 @@ def _score_entries(
         for entry, candidates in zip(entries, candidate_sets)
     ]
 
-    # Whole entries, packed greedily up to the group cap (an entry larger
-    # than the cap gets a group of its own).
-    groups: List[List[int]] = []
-    current: List[int] = []
-    current_size = 0
-    for position, (_, survivors) in enumerate(staged):
-        if not survivors:
-            continue
-        if current and current_size + len(survivors) > EVAL_GROUP_CASES:
-            groups.append(current)
-            current, current_size = [], 0
-        current.append(position)
-        current_size += len(survivors)
-    if current:
-        groups.append(current)
+    units = [
+        [
+            native.BatchCase(
+                source=context.source,
+                name=entry.name,
+                inputs=[tuple(args) for args in entry.inputs],
+                context=context,
+            )
+            for _, context in survivors
+        ]
+        for entry, (_, survivors) in zip(entries, staged)
+    ]
 
     with tempfile.TemporaryDirectory(prefix="minic-eval-") as tmp:
         workdir = Path(tmp)
-
-        def make_batch(group_index: int) -> Optional[native.NativeBatch]:
-            cases = []
-            for position in groups[group_index]:
-                entry = entries[position]
-                for _, context in staged[position][1]:
-                    cases.append(
-                        native.BatchCase(
-                            source=context.source,
-                            name=entry.name,
-                            inputs=[tuple(args) for args in entry.inputs],
-                            context=context,
-                        )
-                    )
-            try:
-                return native.NativeBatch(
-                    cases,
-                    opt_level,
-                    workdir,
-                    isa=backend,
-                    tag=f"evalg{group_index}",
-                    fork_server=fork_server,
+        runner = native.GroupedBatchRunner(
+            opt_level,
+            workdir,
+            isa=backend,
+            fork_server=fork_server,
+            group_cases=EVAL_GROUP_CASES,
+            run_timeout=run_timeout,
+        )
+        for position, raw in runner.run(units):
+            entry = entries[position]
+            scores, survivors = staged[position]
+            if raw is None:
+                # The whole group failed to build or drain: fall back to
+                # the per-entry executor, which attributes the problem to
+                # the right candidate.
+                observations = _execute_survivors(
+                    entry, survivors, backend, opt_level, True, workdir,
+                    fork_server, run_timeout
                 )
-            except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
-                return None
-
-        # One group of lookahead: constructing a NativeBatch launches its
-        # build asynchronously, so group N+1 compiles while N executes.
-        next_batch = make_batch(0) if groups else None
-        for group_index, positions in enumerate(groups):
-            batch = next_batch
-            next_batch = (
-                make_batch(group_index + 1) if group_index + 1 < len(groups) else None
-            )
-            outcomes: dict = {}
-            failed = batch is None
-            if batch is not None:
-                try:
-                    cursor = 0
-                    for position in positions:
-                        entry = entries[position]
-                        for survivor_index in range(len(staged[position][1])):
-                            outcomes[(position, survivor_index)] = [
-                                _native_outcome_to_observation(
-                                    batch.outcome(cursor, input_index)
-                                )
-                                for input_index in range(len(entry.inputs))
-                            ]
-                            cursor += 1
-                except (
-                    subprocess.CalledProcessError,
-                    subprocess.TimeoutExpired,
-                    native.BatchExecutionError,
-                    OSError,
-                ):
-                    failed = True
-            for position in positions:
-                entry = entries[position]
-                scores, survivors = staged[position]
-                if failed:
-                    observations = _execute_survivors(
-                        entry, survivors, backend, opt_level, True, workdir, fork_server
-                    )
-                else:
-                    observations = [
-                        outcomes[(position, survivor_index)]
-                        for survivor_index in range(len(survivors))
-                    ]
-                _finalize_scores(entry, scores, survivors, observations)
+            else:
+                observations = [
+                    [_native_outcome_to_observation(outcome) for outcome in per_input]
+                    for per_input in raw
+                ]
+            _finalize_scores(entry, scores, survivors, observations)
 
     return [scores for scores, _ in staged]
 

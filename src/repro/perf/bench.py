@@ -316,6 +316,48 @@ def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
     return out
 
 
+def bench_repair(seed: int, functions: int, candidates: int, budget: int) -> Dict:
+    """Repair-campaign throughput (the repro.eval.repair search loop).
+
+    Runs a full campaign over the near-miss candidates of a generated
+    dataset and reports attempts/s (how fast neighbors move through the
+    scorer) and repaired/s alongside the repair rate itself, so a
+    throughput win can never silently buy a worse search.
+    """
+    from repro.eval.dataset import generated_entries
+    from repro.eval.mutate import Mutator
+    from repro.eval.repair import RepairConfig, repair_campaign
+
+    backend = "x86" if have_native_toolchain() else "none"
+    entries = generated_entries(
+        seed, functions, max_stmts=8, isas=("x86",), opt_levels=("O0",)
+    )
+    candidate_sets = [
+        Mutator(entry.seed).candidates(entry, candidates) for entry in entries
+    ]
+    config = RepairConfig(backend=backend, budget=budget)
+    started = time.perf_counter()
+    campaign = repair_campaign(entries, candidate_sets, config=config)
+    seconds = time.perf_counter() - started
+
+    aggregate = campaign["aggregate"]
+    out = _stage("attempts", aggregate["attempts"], seconds)
+    out.update(
+        {
+            "functions": functions,
+            "candidates_per_function": candidates,
+            "budget": budget,
+            "backend": backend,
+            "targets": aggregate["targets"],
+            "repaired": aggregate["repaired"],
+            "repaired_per_second": _rate(aggregate["repaired"], seconds),
+            "repair_rate": aggregate["repair_rate"],
+            "io_mismatch_repair_rate": aggregate["io_mismatch_repair_rate"],
+        }
+    )
+    return out
+
+
 def run_benchmarks(
     seed: int, quick: bool, jobs: int, jobs_curve: Optional[List[int]] = None
 ) -> Dict:
@@ -343,6 +385,7 @@ def run_benchmarks(
         },
         "fuzz": bench_fuzz(seed, sequential_count, batched_count, jobs, jobs_curve),
         "eval": bench_eval(seed, 8 if quick else 20, 6 if quick else 8),
+        "repair": bench_repair(seed, 3 if quick else 6, 6, 30 if quick else 80),
     }
     return report
 
@@ -535,6 +578,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "warning: eval scoring disagreed with ground-truth labels",
             file=sys.stderr,
         )
+    repair_stage = report["repair"]
+    print(
+        f"  repair       {repair_stage['attempts_per_second']:.1f} attempts/s, "
+        f"{repair_stage['repaired_per_second']:.2f} repaired/s "
+        f"({repair_stage['repaired']}/{repair_stage['targets']} targets on "
+        f"{repair_stage['backend']}, io_mismatch repair rate "
+        f"{repair_stage['io_mismatch_repair_rate']:.0%})"
+    )
 
     if args.compare:
         with open(args.compare) as handle:

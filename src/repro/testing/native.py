@@ -54,7 +54,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.lang import ctypes as ct
 from repro.testing.frontend import CaseContext
@@ -1112,11 +1112,18 @@ class NativeBatch:
                     server = None
                     retries += 1
                     if retries > self.MAX_PAIR_RETRIES:
-                        self._outcomes = None
-                        self._failure = BatchExecutionError(
-                            f"fork server died repeatedly on pair {flat}"
+                        # A pair that kills the server on every attempt
+                        # (e.g. a crash before the response line is
+                        # flushed) is charged to *that pair* as a limit
+                        # outcome; the rest of the batch proceeds on a
+                        # fresh server instead of restarting forever or
+                        # failing the whole batch.
+                        self._outcomes[self._pairs[flat]] = (
+                            "limit",
+                            f"fork server died {retries} times on this pair",
                         )
-                        raise self._failure
+                        flat += 1
+                        retries = 0
                     continue
                 if code == "0":
                     self._decode_pair(flat, record)
@@ -1231,6 +1238,125 @@ class NativeBatch:
         return self._outcomes[(case_index, input_index)]
 
 
+#: Cap on cases per cross-unit native build in :class:`GroupedBatchRunner`.
+#: Units are never split across groups, so a group build/run failure can
+#: fall back to exactly the per-unit execution path.
+DEFAULT_GROUP_CASES = 32
+
+
+class GroupedBatchRunner:
+    """Cross-unit :class:`NativeBatch` groups with build/execute overlap.
+
+    A *unit* is a list of :class:`BatchCase` objects that must stay
+    together (the eval scorer's unit is one function's gate survivors; the
+    repair search's unit is one target's neighbor chunk).  Units are packed
+    greedily into shared batches of up to ``group_cases`` cases, so the
+    toolchain runs once per group instead of once per unit, and the next
+    group's build is launched before the current group is drained
+    (constructing a :class:`NativeBatch` starts its build asynchronously).
+
+    :meth:`run` yields ``(unit_index, outcomes)`` in unit order, where
+    ``outcomes[case][input]`` is the raw ``NativeBatch.outcome`` tuple —
+    or ``None`` for every unit of a group whose build or drain failed, in
+    which case the caller re-executes those units on its own fallback path
+    (keeping failure attribution identical to the ungrouped executor).
+    Units with no cases are skipped entirely.
+    """
+
+    def __init__(
+        self,
+        opt_level: str,
+        workdir: Path,
+        isa: str = "x86",
+        fork_server: bool = True,
+        group_cases: int = DEFAULT_GROUP_CASES,
+        tag_prefix: str = "evalg",
+        run_timeout: float = 10.0,
+    ) -> None:
+        self.opt_level = opt_level
+        self.workdir = workdir
+        self.isa = isa
+        self.fork_server = fork_server
+        self.group_cases = group_cases
+        self.tag_prefix = tag_prefix
+        self.run_timeout = run_timeout
+
+    def _pack(self, units: Sequence[Sequence[BatchCase]]) -> List[List[int]]:
+        """Whole units, packed greedily up to the group cap (a unit larger
+        than the cap gets a group of its own)."""
+        groups: List[List[int]] = []
+        current: List[int] = []
+        current_size = 0
+        for index, unit in enumerate(units):
+            if not unit:
+                continue
+            if current and current_size + len(unit) > self.group_cases:
+                groups.append(current)
+                current, current_size = [], 0
+            current.append(index)
+            current_size += len(unit)
+        if current:
+            groups.append(current)
+        return groups
+
+    def _make_batch(
+        self, units: Sequence[Sequence[BatchCase]], groups: List[List[int]],
+        group_index: int,
+    ) -> Optional[NativeBatch]:
+        cases = [case for index in groups[group_index] for case in units[index]]
+        try:
+            return NativeBatch(
+                cases,
+                self.opt_level,
+                self.workdir,
+                isa=self.isa,
+                run_timeout=self.run_timeout,
+                tag=f"{self.tag_prefix}{group_index}",
+                fork_server=self.fork_server,
+            )
+        except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
+            return None
+
+    def run(
+        self, units: Sequence[Sequence[BatchCase]]
+    ) -> Iterator[Tuple[int, Optional[List[List[Tuple[str, Any]]]]]]:
+        groups = self._pack(units)
+        # One group of lookahead: group N+1 compiles while N executes.
+        next_batch = self._make_batch(units, groups, 0) if groups else None
+        for group_index, unit_indices in enumerate(groups):
+            batch = next_batch
+            next_batch = (
+                self._make_batch(units, groups, group_index + 1)
+                if group_index + 1 < len(groups)
+                else None
+            )
+            results: Dict[int, List[List[Tuple[str, Any]]]] = {}
+            failed = batch is None
+            if batch is not None:
+                try:
+                    cursor = 0
+                    for unit_index in unit_indices:
+                        per_case: List[List[Tuple[str, Any]]] = []
+                        for case in units[unit_index]:
+                            per_case.append(
+                                [
+                                    batch.outcome(cursor, input_index)
+                                    for input_index in range(len(case.inputs))
+                                ]
+                            )
+                            cursor += 1
+                        results[unit_index] = per_case
+                except (
+                    subprocess.CalledProcessError,
+                    subprocess.TimeoutExpired,
+                    BatchExecutionError,
+                    OSError,
+                ):
+                    failed = True
+            for unit_index in unit_indices:
+                yield unit_index, (None if failed else results[unit_index])
+
+
 def values_equal(left: Any, right: Any) -> bool:
     """Structural equality with float tolerance (re-exported convenience)."""
     from repro.testing.oracle import values_equal as impl
@@ -1241,6 +1367,8 @@ def values_equal(left: Any, right: Any) -> bool:
 __all__ = [
     "BatchCase",
     "BatchExecutionError",
+    "DEFAULT_GROUP_CASES",
+    "GroupedBatchRunner",
     "NativeBatch",
     "NativeFunction",
     "NativeResult",

@@ -98,8 +98,14 @@ def set_slot(parent: ast.Node, attr: str, index: Optional[int], expr: ast.Expr) 
         setattr(parent, attr, expr)
 
 
-def _subexpressions(expr: ast.Expr) -> List[ast.Expr]:
-    """Direct Expr children of ``expr`` (replacement candidates)."""
+def subexpressions(expr: ast.Expr) -> List[ast.Expr]:
+    """Direct Expr children of ``expr`` (replacement candidates).
+
+    Public because the repair search (:mod:`repro.eval.repair`) collapses
+    expressions through the same slots the reducer shrinks them through —
+    replacing an expression by one of its children undoes wrapper-style
+    breaking mutations such as ``bump_return``'s ``x`` -> ``x + 1``.
+    """
     out: List[ast.Expr] = []
     for attr, value in vars(expr).items():
         if attr == "ctype":
@@ -170,7 +176,7 @@ def _candidate_sources(program: ast.Program, name: str) -> Iterator[str]:
         is_loop_cond = attr == "cond" and isinstance(
             parent, (ast.While, ast.DoWhile, ast.For)
         )
-        replacements = _subexpressions(original)
+        replacements = subexpressions(original)
         if not isinstance(original, ast.IntLiteral):
             replacements = replacements + [ast.IntLiteral(0)]
             if not is_loop_cond:

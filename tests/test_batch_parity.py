@@ -288,6 +288,51 @@ def test_forkserver_recovers_from_killed_server(monkeypatch):
     assert calls["count"] > 3, "the killed request was never retried"
 
 
+@needs_toolchain
+def test_forkserver_charges_pair_that_kills_server_every_time(monkeypatch):
+    """A pair that takes the server down on *every* attempt must not spin
+    forever: after MAX_PAIR_RETRIES restarts it is charged a ``limit``
+    outcome and the rest of the batch completes normally."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.testing import native as native_mod
+
+    cases = [
+        _Case("int f(int a) {\n    return a + 10;\n}\n", "f", [(1,), (2,), (3,)]),
+        _Case("int g(int a) {\n    return a * a;\n}\n", "g", [(4,), (5,)]),
+    ]
+    original_send = native_mod._ForkServer.send
+    poison = {"line": None, "deaths": 0}
+
+    def killing_send(self, line):
+        if poison["line"] is not None and line == poison["line"]:
+            poison["deaths"] += 1
+            self.proc.kill()
+            self.proc.wait()
+        return original_send(self, line)
+
+    monkeypatch.setattr(native_mod._ForkServer, "send", killing_send)
+    with tempfile.TemporaryDirectory() as tmp:
+        batch = NativeBatch(
+            [BatchCase(c.source, c.name, list(c.inputs)) for c in cases],
+            "O0",
+            Path(tmp),
+            fork_server=True,
+        )
+        # Execution is lazy: the request table exists before any pair runs,
+        # so the poison can target pair (0, 1) deterministically.
+        poison["line"] = batch._requests[1]
+        status, detail = batch.outcome(0, 1)
+        assert status == "limit"
+        assert "fork server died 3 times" in detail
+        expected = {(0, 0): 11, (0, 2): 13, (1, 0): 16, (1, 1): 25}
+        for (case_index, input_index), value in expected.items():
+            status, result = batch.outcome(case_index, input_index)
+            assert status == "ok" and result.return_value == value
+    assert poison["deaths"] == native_mod.NativeBatch.MAX_PAIR_RETRIES + 1
+
+
 # ---------------------------------------------------------------------------
 # Parallel (--jobs) parity
 # ---------------------------------------------------------------------------

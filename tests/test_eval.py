@@ -181,6 +181,43 @@ def test_scorer_agrees_with_ground_truth_on_interpreter():
             )
 
 
+def test_scores_carry_io_agreement():
+    entries, sets = _small_dataset(seed=5, functions=4, candidates=6)
+    for entry, candidates in zip(entries, sets):
+        scores = score_candidates(entry, candidates, backend="none")
+        for score in scores:
+            if score.verdict == "io_equivalent":
+                assert score.agreement == 1.0
+            elif score.verdict in ("io_mismatch", "trap"):
+                if score.lint_prefilter:
+                    # The UB linter skipped execution entirely.
+                    assert score.agreement is None
+                else:
+                    # Executed but disagreed somewhere: agreement is a
+                    # proper fraction of the entry's IO vectors.
+                    assert score.agreement is not None
+                    assert 0.0 <= score.agreement < 1.0
+            elif score.verdict in ("parse_error", "type_error"):
+                # Never executed: no agreement signal, and the report
+                # omits the key rather than inventing a number.
+                assert score.agreement is None
+                assert "agreement" not in score.to_json()
+
+
+def test_jobs_beyond_entry_count_and_empty_dataset():
+    """``jobs`` larger than the entry count (including the zero-entry
+    degenerate case) must neither crash nor change a single report byte."""
+    report = score_dataset([], [], backend="none", jobs=4)
+    assert report["aggregate"]["candidates"] == 0
+    assert report["aggregate"]["ground_truth_agreement"] == 1.0
+    assert report["functions"] == []
+
+    entries, sets = _small_dataset(seed=7, functions=2, candidates=4)
+    lone = score_dataset(entries, sets, backend="none", jobs=1)
+    flooded = score_dataset(entries, sets, backend="none", jobs=8)
+    assert json.dumps(lone, sort_keys=True) == json.dumps(flooded, sort_keys=True)
+
+
 def test_edit_similarity_metric():
     a = "int f(int a) {\n    return a + 1;\n}\n"
     assert edit_similarity(a, a) == 1.0
@@ -188,8 +225,17 @@ def test_edit_similarity_metric():
     assert edit_similarity("int f(int a){return a+1;}", a) == 1.0
     renamed = a.replace("a", "b")
     assert 0.0 < edit_similarity(renamed, a) < 1.0
-    # Unlexable candidates fall back to character comparison.
-    assert 0.0 <= edit_similarity("@@@ not C @@@", a) < 1.0
+    # Unlexable candidates fall back to *whitespace* tokenization, not a
+    # character-by-character comparison: shared words still count as
+    # matches, so the score stays on the same tokens-edited scale.
+    assert edit_similarity("@@@ not C @@@", a) == 0.0
+    assert edit_similarity("@@@ return a + 1 ; @@@", a) == 0.2222
+    # Empty-input pins: empty-vs-empty is a perfect match by convention,
+    # empty-vs-nonempty is maximally distant (all insertions).
+    assert edit_similarity("", "") == 1.0
+    assert edit_similarity("   ", "") == 1.0
+    assert edit_similarity("", a) == 0.0
+    assert edit_similarity(a, "") == 0.0
 
 
 # ---------------------------------------------------------------------------
