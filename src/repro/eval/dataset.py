@@ -17,9 +17,18 @@ Entries come from two sources: the seeded program generator
 functions, and the hand-written test corpus (``tests/corpus.py``) when it
 is available on disk.
 
+Datasets round-trip through JSON (``--output`` / ``--input``): a file
+written by one run can be loaded by a later one — or by the scorer — and
+produces byte-identical downstream reports, because every observable field
+(source, inputs, assembly grid, reference observations) survives the trip.
+Built entries are also cached content-addressed (``--cache-dir`` /
+``--no-cache``, see :mod:`repro.eval.cache`), so warm runs load triples
+instead of regenerating and recompiling them.
+
 CLI::
 
     python -m repro.eval.dataset --seed 0 --count 10 --output dataset.json
+    python -m repro.eval.dataset --input dataset.json --output copy.json
     python -m repro.eval.dataset --seed 0 --count 50 --include-corpus \\
         --isas x86,arm --opt-levels O0,O3
 """
@@ -33,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.eval.cache import add_cache_arguments, cache_from_args, describe_stats
 from repro.lang.interpreter import CInterpreterError, RuntimeLimitExceeded
 from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError, parse_program
@@ -238,6 +248,66 @@ def _first_value_mismatch(ref: Observation, cand: Observation) -> Optional[str]:
     return None
 
 
+def entry_from_json(data: Dict[str, Any]) -> DatasetEntry:
+    """Rebuild a :class:`DatasetEntry` from its :meth:`~DatasetEntry.to_json`.
+
+    The entry carries no :class:`CaseContext` (nothing downstream of the
+    dataset reads it — the scorer builds contexts for *candidates*), and
+    every observable field survives the JSON trip, so scoring a loaded
+    entry is byte-identical to scoring the freshly built one.
+    """
+    return DatasetEntry(
+        uid=data["uid"],
+        origin=data["origin"],
+        name=data["name"],
+        source=data["source"],
+        inputs=[tuple(args) for args in data["inputs"]],
+        assembly=dict(data["assembly"]),
+        reference=[
+            Observation(
+                obs["status"],
+                obs["return_value"],
+                list(obs["arg_values"]),
+                dict(obs["globals"]),
+            )
+            for obs in data["reference"]
+        ],
+        seed=data.get("seed"),
+    )
+
+
+def dataset_from_json(document: Dict[str, Any]) -> List[DatasetEntry]:
+    if document.get("schema") != 1:
+        raise DatasetError(f"unsupported dataset schema {document.get('schema')!r}")
+    return [entry_from_json(data) for data in document["entries"]]
+
+
+def load_dataset(path) -> List[DatasetEntry]:
+    """Entries from a ``--output`` file written by this module's CLI."""
+    with open(path) as handle:
+        return dataset_from_json(json.load(handle))
+
+
+def _entry_cache_key(
+    cache,
+    source: str,
+    name: str,
+    inputs: Sequence[Tuple],
+    isas: Sequence[str],
+    opt_levels: Sequence[str],
+) -> str:
+    from repro.eval.cache import source_digest
+
+    return cache.key(
+        "entry",
+        source_digest(source),
+        name,
+        json.dumps([list(args) for args in inputs]),
+        ",".join(isas),
+        ",".join(opt_levels),
+    )
+
+
 def build_entry(
     source: str,
     name: str,
@@ -249,8 +319,27 @@ def build_entry(
     opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
     program=None,
     checker=None,
+    cache=None,
 ) -> DatasetEntry:
-    """Materialise one triple: compile the grid, record the IO vectors."""
+    """Materialise one triple: compile the grid, record the IO vectors.
+
+    With ``cache`` (an :class:`repro.eval.cache.EvalCache`) the built
+    entry is stored content-addressed — keyed by the normalized source
+    token stream, the requested grid and the pipeline fingerprint — and a
+    later call with the same inputs loads it instead of compiling and
+    interpreting again.  ``uid``/``origin``/``seed`` are caller metadata
+    and always come from the current call, not the cache.
+    """
+    key = None
+    if cache is not None:
+        key = _entry_cache_key(cache, source, name, inputs, isas, opt_levels)
+        cached = cache.get("entry", key)
+        if cached is not None:
+            entry = entry_from_json(cached)
+            entry.uid = uid
+            entry.origin = origin
+            entry.seed = seed
+            return entry
     try:
         context = CaseContext(source, name, program=program, checker=checker)
         assembly = {
@@ -266,7 +355,7 @@ def build_entry(
             raise DatasetError(
                 f"reference {uid} exhausts the step budget on input #{index}"
             )
-    return DatasetEntry(
+    entry = DatasetEntry(
         uid=uid,
         origin=origin,
         name=name,
@@ -277,6 +366,9 @@ def build_entry(
         seed=seed,
         context=context,
     )
+    if cache is not None and key is not None:
+        cache.put("entry", key, entry.to_json())
+    return entry
 
 
 def generated_entries(
@@ -285,6 +377,7 @@ def generated_entries(
     max_stmts: int = 10,
     isas: Sequence[str] = DEFAULT_ISAS,
     opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+    cache=None,
 ) -> List[DatasetEntry]:
     """``count`` fixed-seed generator functions, ExeBench-style."""
     entries: List[DatasetEntry] = []
@@ -303,6 +396,7 @@ def generated_entries(
                 opt_levels=opt_levels,
                 program=case.program,
                 checker=case.checker,
+                cache=cache,
             )
         )
     return entries
@@ -330,6 +424,7 @@ def corpus_entries(
     corpus: Optional[Sequence[Tuple[str, str, List[Tuple]]]] = None,
     isas: Sequence[str] = DEFAULT_ISAS,
     opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+    cache=None,
 ) -> List[DatasetEntry]:
     if corpus is None:
         corpus = load_corpus()
@@ -344,6 +439,7 @@ def corpus_entries(
                 origin="corpus",
                 isas=isas,
                 opt_levels=opt_levels,
+                cache=cache,
             )
         )
     return entries
@@ -356,14 +452,16 @@ def build_dataset(
     max_stmts: int = 10,
     isas: Sequence[str] = DEFAULT_ISAS,
     opt_levels: Sequence[str] = DEFAULT_OPT_LEVELS,
+    cache=None,
 ) -> List[DatasetEntry]:
     """Generator-sourced entries, optionally prefixed by the corpus."""
     entries: List[DatasetEntry] = []
     if include_corpus:
-        entries.extend(corpus_entries(isas=isas, opt_levels=opt_levels))
+        entries.extend(corpus_entries(isas=isas, opt_levels=opt_levels, cache=cache))
     entries.extend(
         generated_entries(
-            seed, count, max_stmts=max_stmts, isas=isas, opt_levels=opt_levels
+            seed, count, max_stmts=max_stmts, isas=isas, opt_levels=opt_levels,
+            cache=cache,
         )
     )
     return entries
@@ -406,18 +504,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", default="dataset.json", help="where to write the dataset"
     )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="load a previously written dataset instead of building one "
+        "(--seed/--count/--isas/... are ignored)",
+    )
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
     if args.max_stmts < 3:
         parser.error("--max-stmts must be at least 3 (the generator's minimum)")
 
-    entries = build_dataset(
-        args.seed,
-        args.count,
-        include_corpus=args.include_corpus,
-        max_stmts=args.max_stmts,
-        isas=tuple(s for s in args.isas.split(",") if s),
-        opt_levels=tuple(s for s in args.opt_levels.split(",") if s),
-    )
+    cache = cache_from_args(args)
+    if args.input is not None:
+        entries = load_dataset(args.input)
+    else:
+        entries = build_dataset(
+            args.seed,
+            args.count,
+            include_corpus=args.include_corpus,
+            max_stmts=args.max_stmts,
+            isas=tuple(s for s in args.isas.split(",") if s),
+            opt_levels=tuple(s for s in args.opt_levels.split(",") if s),
+            cache=cache,
+        )
     with open(args.output, "w") as handle:
         json.dump(dataset_to_json(entries), handle, indent=2)
         handle.write("\n")
@@ -426,6 +536,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"wrote {args.output}: {len(entries)} functions, {vectors} IO vectors, "
         f"{sum(len(entry.assembly) for entry in entries)} assembly listings"
     )
+    if cache is not None:
+        cache.sweep()
+        print(describe_stats(cache.stats_summary()))
     return 0
 
 

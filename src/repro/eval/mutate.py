@@ -31,6 +31,7 @@ scoring pipeline, not label noise.
 from __future__ import annotations
 
 import copy
+import json
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
@@ -586,8 +587,11 @@ class Mutator:
         The entry's context has already parsed and type-checked the
         reference, so expression nodes carry their checked ``ctype`` —
         which the commutation mutation uses to stay off pointer arithmetic.
+        Entries loaded from a dataset file or the entry cache carry no
+        context; re-front-ending the source reproduces it exactly.
         """
-        assert entry.context is not None, "dataset entries carry their context"
+        if entry.context is None:
+            entry.context = CaseContext(entry.source, entry.name)
         return entry.context.program
 
     def _one(self, entry: DatasetEntry, label: str) -> Candidate:
@@ -634,13 +638,42 @@ class Mutator:
             f"within {self.MAX_ATTEMPTS} attempts"
         )
 
-    def candidates(self, entry: DatasetEntry, count: int) -> List[Candidate]:
+    def _candidate_key(self, cache, entry: DatasetEntry, count: int) -> str:
+        """Content address of one certified candidate set.
+
+        The raw source text is part of the key (not the normalized token
+        stream): ``parse_break`` candidates are produced by slicing the
+        reference *text*, so formatting is observable in the output.
+        """
+        return cache.key(
+            "candidates",
+            entry.source,
+            entry.name,
+            json.dumps([list(args) for args in entry.inputs]),
+            str(self.seed),
+            str(count),
+            str(self.allow_trap_labels),
+        )
+
+    def candidates(
+        self, entry: DatasetEntry, count: int, cache=None
+    ) -> List[Candidate]:
         """``count`` labelled candidates for one dataset entry.
 
         The mix is random but anchored: any set of three or more always
         contains at least one preserving and one breaking candidate (so
         top-k accuracy and verdict pins are meaningful for every function).
+
+        Certification is the expensive step (each mutant is interpreted on
+        every IO vector, with resampling); with ``cache`` the finished set
+        is stored content-addressed and warm runs skip it entirely.
         """
+        key = None
+        if cache is not None:
+            key = self._candidate_key(cache, entry, count)
+            cached = cache.get("candidates", key)
+            if cached is not None:
+                return [Candidate(**data) for data in cached]
         labels: List[str] = []
         if count >= 3:
             labels = ["preserving", "breaking"]
@@ -653,12 +686,17 @@ class Mutator:
             else:
                 labels.append("invalid")
         self.rng.shuffle(labels)
-        return [self._one(entry, label) for label in labels[:count]]
+        produced = [self._one(entry, label) for label in labels[:count]]
+        if cache is not None and key is not None:
+            cache.put("candidates", key, [vars(candidate) for candidate in produced])
+        return produced
 
 
-def make_candidates(entry: DatasetEntry, count: int, seed: int) -> List[Candidate]:
+def make_candidates(
+    entry: DatasetEntry, count: int, seed: int, cache=None
+) -> List[Candidate]:
     """Convenience wrapper: a deterministic candidate set for one entry."""
-    return Mutator(seed).candidates(entry, count)
+    return Mutator(seed).candidates(entry, count, cache=cache)
 
 
 # ---------------------------------------------------------------------------

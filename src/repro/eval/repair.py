@@ -46,12 +46,18 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.eval.cache import (
+    EvalCache,
+    add_cache_arguments,
+    cache_from_args,
+    describe_stats,
+)
 from repro.eval.dataset import DatasetEntry, generated_entries
 from repro.eval.mutate import Candidate, Mutator, repair_neighbors
 from repro.eval.score import (
     CandidateScore,
     _resolve_backend,
-    _score_entries,
+    _score_entries_cached,
     score_dataset,
 )
 
@@ -258,13 +264,16 @@ def _run_rounds(
     entries_by_uid: Dict[str, DatasetEntry],
     config: RepairConfig,
     persist=None,
+    cache: Optional[EvalCache] = None,
 ) -> None:
     """Advance every active target to completion (or the round limit).
 
     Each round gathers one neighbor chunk per active target and scores all
-    of them through one shared ``_score_entries`` call — cross-function
-    batch groups with compile-while-execute lookahead, ``lint=False`` so
-    every gate survivor really executes and carries an agreement score.
+    of them through one shared ``_score_entries_cached`` call —
+    cross-function batch groups with compile-while-execute lookahead,
+    ``lint=False`` so every gate survivor really executes and carries an
+    agreement score, and (with ``cache``) the verdict memo skips the
+    toolchain entirely for neighbors judged in prior rounds or campaigns.
     ``persist`` (when given) is called after every round.
     """
     while True:
@@ -291,9 +300,10 @@ def _run_rounds(
             [Candidate(text, "", kind, "") for kind, text, _ in chunk]
             for _, chunk in chunks
         ]
-        all_scores = _score_entries(
+        all_scores = _score_entries_cached(
             score_entries,
             candidate_sets,
+            cache,
             backend=config.backend,
             opt_level=config.opt_level,
             use_batch=True,
@@ -307,11 +317,16 @@ def _run_rounds(
             persist()
 
 
-def _repair_worker(payload) -> List[Dict[str, Any]]:
-    targets, entries, config = payload
+def _repair_worker(payload):
+    targets, entries, config, cache = payload
+    if cache is not None:
+        # The pickled copy carries the parent's counters; zero them so the
+        # summary shipped back is exactly this worker's delta.
+        cache.stats = {}
+        cache.evictions = 0
     entries_by_uid = {entry.uid: entry for entry in entries}
-    _run_rounds(targets, entries_by_uid, config)
-    return targets
+    _run_rounds(targets, entries_by_uid, config, cache=cache)
+    return targets, (cache.stats_summary() if cache is not None else None)
 
 
 def _aggregate(targets: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -368,6 +383,7 @@ def repair_campaign(
     persist=None,
     extra_config: Optional[Dict[str, Any]] = None,
     baseline: Optional[Dict[str, Any]] = None,
+    cache: Optional[EvalCache] = None,
 ) -> Dict[str, Any]:
     """Run (or resume) a repair campaign; returns the campaign document.
 
@@ -379,6 +395,9 @@ def repair_campaign(
     ``jobs > 1`` workers run their shards to completion and the document
     is produced once at the end).  Per-target searches never read other
     targets' state, so the result is byte-identical at any ``jobs`` count.
+    ``cache`` (a :class:`repro.eval.cache.EvalCache`) memoises verdicts
+    across rounds, runs and campaigns without changing a byte of the
+    campaign document.
     """
     if config is None:
         config = RepairConfig()
@@ -396,6 +415,7 @@ def repair_campaign(
                 opt_level=config.opt_level,
                 fork_server=config.fork_server,
                 jobs=jobs,
+                cache=cache,
             )
         targets = []
         score_index = {f["uid"]: f["candidates"] for f in baseline["functions"]}
@@ -427,10 +447,13 @@ def repair_campaign(
         for shard in shards:
             needed = sorted({t["entry_uid"] for t in shard})
             portable = [replace(entries_by_uid[uid], context=None) for uid in needed]
-            payloads.append((shard, portable, config))
+            payloads.append((shard, portable, config, cache))
         with multiprocessing.Pool(processes=workers) as pool:
             finished = pool.map(_repair_worker, payloads)
-        by_uid = {t["uid"]: t for shard in finished for t in shard}
+        for _, summary in finished:
+            if cache is not None and summary is not None:
+                cache.absorb(summary)
+        by_uid = {t["uid"]: t for shard, _ in finished for t in shard}
         targets = [by_uid.get(t["uid"], t) for t in targets]
     else:
         if persist is not None:
@@ -440,6 +463,7 @@ def repair_campaign(
             entries_by_uid,
             config,
             persist=(lambda: persist(document())) if persist is not None else None,
+            cache=cache,
         )
 
     return _campaign_json(targets, config, extra_config)
@@ -536,6 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default="repair_campaign.json",
         help="campaign progress/result file (default repair_campaign.json)",
     )
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
     if args.max_stmts < 3:
         parser.error("--max-stmts must be at least 3 (the generator's minimum)")
@@ -583,6 +608,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"(file has {stored.get(key)!r}, run wants {want[key]!r})"
                 )
 
+    cache = cache_from_args(args)
     started = time.time()
     entries = generated_entries(
         args.seed,
@@ -590,12 +616,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_stmts=args.max_stmts,
         isas=("arm",) if backend == "arm" else ("x86",),
         opt_levels=(args.opt_level,),
+        cache=cache,
     )
     candidate_sets = [
         Mutator(
             entry.seed if entry.seed is not None else args.seed,
             allow_trap_labels=backend != "arm" and args.opt_level == "O0",
-        ).candidates(entry, args.candidates)
+        ).candidates(entry, args.candidates, cache=cache)
         for entry in entries
     ]
     built = time.time()
@@ -617,6 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         state=state,
         persist=persist if args.jobs <= 1 else None,
         extra_config=extra_config,
+        cache=cache,
     )
     persist(campaign)
     finished = time.time()
@@ -639,6 +667,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{aggregate['attempts'] / elapsed:.1f} attempts/s, "
         f"{aggregate['repaired'] / elapsed:.2f} repaired/s"
     )
+    if cache is not None:
+        cache.sweep()
+        print("  cache: " + describe_stats(cache.stats_summary()))
     if aggregate["active"]:
         print(
             f"  {aggregate['active']} target(s) still active "

@@ -54,6 +54,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.driver import CompileError
+from repro.eval.cache import (
+    EvalCache,
+    add_cache_arguments,
+    cache_from_args,
+    describe_stats,
+    json_digest,
+    source_digest,
+)
 from repro.eval.dataset import (
     DatasetEntry,
     Observation,
@@ -206,7 +214,11 @@ class CandidateScore:
 
 
 def _front_end_gate(
-    source: str, name: str, backend: str, opt_level: str
+    source: str,
+    name: str,
+    backend: str,
+    opt_level: str,
+    cache: Optional[EvalCache] = None,
 ) -> Union[Tuple[str, str], CaseContext]:
     """Run parse -> typecheck -> compile; (verdict, detail) on failure.
 
@@ -214,19 +226,37 @@ def _front_end_gate(
     :func:`repro.eval.dataset.front_end_gate`, the same gate the mutation
     certifier uses — by construction the two cannot disagree on a
     candidate's front-end fate.
+
+    With ``cache`` the emitted assembly (or the compile error) is stored
+    keyed by the normalized token stream, so a warm run seeds the context
+    instead of lowering and emitting again.
     """
     gate = front_end_gate(source, name)
     if isinstance(gate[0], str):
         return gate
     program, checker = gate
     context = CaseContext(source, name, program=program, checker=checker)
+    isa = backend if backend != "none" else "x86"
+    asm_key = None
+    if cache is not None:
+        asm_key = cache.key("asm", source_digest(source), name, isa, opt_level)
+        cached = cache.get("asm", asm_key)
+        if cached is not None:
+            if cached.get("error"):
+                return "compile_error", cached["detail"]
+            context.seed_assembly(isa, opt_level, cached["text"])
+            return context
     try:
         # The gate always emits real assembly — even when execution later
         # happens on the interpreter — so verdicts do not depend on the
         # execution substrate.
-        context.assembly(backend if backend != "none" else "x86", opt_level)
+        assembly = context.assembly(isa, opt_level)
     except CompileError as exc:
+        if cache is not None and asm_key is not None:
+            cache.put("asm", asm_key, {"error": True, "detail": str(exc)})
         return "compile_error", str(exc)
+    if cache is not None and asm_key is not None:
+        cache.put("asm", asm_key, {"error": False, "text": assembly})
     return context
 
 
@@ -266,6 +296,7 @@ def _stage_candidates(
     backend: str,
     opt_level: str,
     lint: bool,
+    cache: Optional[EvalCache] = None,
 ) -> Tuple[List[CandidateScore], List[Tuple[int, CaseContext]]]:
     """Front-end gate + lint pre-filter for one candidate set.
 
@@ -282,7 +313,7 @@ def _stage_candidates(
     scores: List[CandidateScore] = []
     survivors: List[Tuple[int, CaseContext]] = []
     for index, candidate in enumerate(candidates):
-        gate = _front_end_gate(candidate.text, entry.name, backend, opt_level)
+        gate = _front_end_gate(candidate.text, entry.name, backend, opt_level, cache)
         similarity = edit_similarity(candidate.text, entry.source)
         if isinstance(gate, tuple):
             verdict, detail = gate
@@ -345,6 +376,7 @@ def score_candidates(
     lint: bool = True,
     fork_server: bool = True,
     run_timeout: float = 10.0,
+    cache: Optional[EvalCache] = None,
 ) -> List[CandidateScore]:
     """Score one function's candidate set against its IO vectors.
 
@@ -374,11 +406,11 @@ def score_candidates(
         workdir = Path(tmp.name)
     try:
         scores, survivors = _stage_candidates(
-            entry, candidates, backend, opt_level, lint
+            entry, candidates, backend, opt_level, lint, cache
         )
         observations = _execute_survivors(
             entry, survivors, backend, opt_level, use_batch, workdir, fork_server,
-            run_timeout
+            run_timeout, cache
         )
         _finalize_scores(entry, scores, survivors, observations)
         return scores
@@ -396,6 +428,7 @@ def _execute_survivors(
     workdir: Optional[Path],
     fork_server: bool = True,
     run_timeout: float = 10.0,
+    cache: Optional[EvalCache] = None,
 ) -> List[Union[List[Observation], Tuple[str, str]]]:
     """One observation list per survivor, or a (verdict, detail) failure."""
     if not survivors:
@@ -407,14 +440,15 @@ def _execute_survivors(
     assert workdir is not None
     if use_batch:
         outcome = _execute_batch(
-            entry, survivors, backend, opt_level, workdir, fork_server, run_timeout
+            entry, survivors, backend, opt_level, workdir, fork_server, run_timeout,
+            cache
         )
         if outcome is not None:
             return outcome
         # Whole-batch build/run failure: fall back to the per-candidate
         # path, which attributes the problem to the right candidate.
     return [
-        _execute_single(entry, context, backend, opt_level, workdir, run_timeout)
+        _execute_single(entry, context, backend, opt_level, workdir, run_timeout, cache)
         for _, context in survivors
     ]
 
@@ -427,6 +461,7 @@ def _execute_batch(
     workdir: Path,
     fork_server: bool = True,
     run_timeout: float = 10.0,
+    cache: Optional[EvalCache] = None,
 ) -> Optional[List[List[Observation]]]:
     cases = [
         native.BatchCase(
@@ -446,6 +481,7 @@ def _execute_batch(
             run_timeout=run_timeout,
             tag=f"eval_{entry.uid}",
             fork_server=fork_server,
+            cache=cache,
         )
         results: List[List[Observation]] = []
         for case_index in range(len(survivors)):
@@ -474,6 +510,7 @@ def _execute_single(
     opt_level: str,
     workdir: Path,
     run_timeout: float = 10.0,
+    cache: Optional[EvalCache] = None,
 ) -> Union[List[Observation], Tuple[str, str]]:
     try:
         fn = native.NativeFunction(
@@ -485,6 +522,7 @@ def _execute_single(
             isa=backend,
             run_timeout=run_timeout,
             context=context,
+            cache=cache,
         )
     except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError) as exc:
         stderr = getattr(exc, "stderr", None) or b""
@@ -532,6 +570,7 @@ def _score_entries(
     lint: bool = True,
     fork_server: bool = True,
     run_timeout: float = 10.0,
+    cache: Optional[EvalCache] = None,
 ) -> List[List[CandidateScore]]:
     """One CandidateScore list per entry (the unit one ``--jobs`` worker runs).
 
@@ -554,12 +593,13 @@ def _score_entries(
                 lint=lint,
                 fork_server=fork_server,
                 run_timeout=run_timeout,
+                cache=cache,
             )
             for entry, candidates in zip(entries, candidate_sets)
         ]
 
     staged = [
-        _stage_candidates(entry, candidates, backend, opt_level, lint)
+        _stage_candidates(entry, candidates, backend, opt_level, lint, cache)
         for entry, candidates in zip(entries, candidate_sets)
     ]
 
@@ -585,6 +625,7 @@ def _score_entries(
             fork_server=fork_server,
             group_cases=EVAL_GROUP_CASES,
             run_timeout=run_timeout,
+            cache=cache,
         )
         for position, raw in runner.run(units):
             entry = entries[position]
@@ -595,7 +636,7 @@ def _score_entries(
                 # the right candidate.
                 observations = _execute_survivors(
                     entry, survivors, backend, opt_level, True, workdir,
-                    fork_server, run_timeout
+                    fork_server, run_timeout, cache
                 )
             else:
                 observations = [
@@ -607,9 +648,143 @@ def _score_entries(
     return [scores for scores, _ in staged]
 
 
-def _entries_worker(payload) -> List[List[CandidateScore]]:
-    entries, candidate_sets, kwargs = payload
-    return _score_entries(entries, candidate_sets, **kwargs)
+def _verdict_key(
+    cache: EvalCache,
+    entry: DatasetEntry,
+    text: str,
+    backend: str,
+    opt_level: str,
+    lint: bool,
+    run_timeout: float,
+) -> str:
+    """Memo key for one (candidate, reference, substrate) triple.
+
+    Every input the verdict depends on is part of the key: the candidate
+    and reference *texts* (raw, because the similarity metric's unlexable
+    fallback sees formatting), the IO vectors, the reference observations,
+    the substrate and the run timeout (score and repair use different
+    budgets, so their ``limit`` verdicts can legitimately differ).  The
+    execution path (batched / fork server) is deliberately absent: all
+    paths are pinned byte-identical by ``--check-parity``.
+    """
+    return cache.key(
+        "verdict",
+        text,
+        entry.source,
+        entry.name,
+        json.dumps([list(args) for args in entry.inputs]),
+        json_digest([obs.to_json() for obs in entry.reference]),
+        backend,
+        opt_level,
+        str(lint),
+        str(run_timeout),
+    )
+
+
+def _memo_payload(score: CandidateScore) -> Dict[str, Any]:
+    """The candidate-independent slice of a score (caller metadata —
+    index/kind/label/expected — is reapplied per candidate on a hit)."""
+    return {
+        "verdict": score.verdict,
+        "similarity": score.similarity,
+        "detail": score.detail,
+        "agreement": score.agreement,
+        "lint_flagged": score.lint_flagged,
+        "lint_prefilter": score.lint_prefilter,
+    }
+
+
+def _score_from_memo(payload: Dict[str, Any], index: int, candidate: Candidate):
+    return CandidateScore(
+        index,
+        payload["verdict"],
+        payload["similarity"],
+        payload["detail"],
+        candidate.kind,
+        candidate.label,
+        candidate.expected,
+        lint_flagged=bool(payload.get("lint_flagged")),
+        lint_prefilter=bool(payload.get("lint_prefilter")),
+        agreement=payload.get("agreement"),
+    )
+
+
+def _score_entries_cached(
+    entries: Sequence[DatasetEntry],
+    candidate_sets: Sequence[Sequence[Candidate]],
+    cache: Optional[EvalCache] = None,
+    **kwargs: Any,
+) -> List[List[CandidateScore]]:
+    """:func:`_score_entries` behind the verdict memo + in-run dedupe.
+
+    Candidates whose memo key hits (a previous run, round or campaign
+    judged the same text against the same reference) never reach the gate
+    or the harness; candidates that are byte-identical *within* one set
+    execute once and fan the verdict out.  The reduced unique-miss sets go
+    through the untouched :func:`_score_entries` machinery, so a warm
+    report is byte-identical to a cold one by construction.
+    """
+    if cache is None:
+        return _score_entries(entries, candidate_sets, **kwargs)
+    backend = kwargs.get("backend", "x86")
+    opt_level = kwargs.get("opt_level", "O0")
+    lint = kwargs.get("lint", True)
+    run_timeout = kwargs.get("run_timeout", 10.0)
+
+    memo: Dict[str, Dict[str, Any]] = {}
+    plans = []  # per entry: (keys per candidate, unique miss keys+candidates)
+    for entry, candidates in zip(entries, candidate_sets):
+        keys: List[str] = []
+        unique_keys: List[str] = []
+        unique_candidates: List[Candidate] = []
+        for candidate in candidates:
+            key = _verdict_key(
+                cache, entry, candidate.text, backend, opt_level, lint, run_timeout
+            )
+            keys.append(key)
+            if key in memo:
+                continue
+            payload = cache.get("verdict", key)
+            if payload is not None:
+                memo[key] = payload
+                continue
+            if key not in unique_keys:
+                unique_keys.append(key)
+                unique_candidates.append(candidate)
+        plans.append((keys, unique_keys, unique_candidates))
+
+    miss_positions = [p for p, plan in enumerate(plans) if plan[2]]
+    if miss_positions:
+        sub_scores = _score_entries(
+            [entries[p] for p in miss_positions],
+            [plans[p][2] for p in miss_positions],
+            cache=cache,
+            **kwargs,
+        )
+        for position, scores in zip(miss_positions, sub_scores):
+            for key, score in zip(plans[position][1], scores):
+                payload = _memo_payload(score)
+                cache.put("verdict", key, payload)
+                memo[key] = payload
+
+    return [
+        [
+            _score_from_memo(memo[key], index, candidate)
+            for index, (key, candidate) in enumerate(zip(keys, candidates))
+        ]
+        for candidates, (keys, _, _) in zip(candidate_sets, plans)
+    ]
+
+
+def _entries_worker(payload):
+    entries, candidate_sets, cache, kwargs = payload
+    if cache is not None:
+        # The pickled copy carries the parent's counters; zero them so the
+        # summary shipped back is exactly this worker's delta.
+        cache.stats = {}
+        cache.evictions = 0
+    scores = _score_entries_cached(entries, candidate_sets, cache, **kwargs)
+    return scores, (cache.stats_summary() if cache is not None else None)
 
 
 def score_dataset(
@@ -621,13 +796,17 @@ def score_dataset(
     lint: bool = True,
     fork_server: bool = True,
     jobs: int = 1,
+    cache: Optional[EvalCache] = None,
 ) -> Dict[str, Any]:
     """Score every entry's candidate set and build the aggregate report.
 
     With ``jobs > 1`` the entries are striped round-robin over a process
     pool; every verdict depends only on its entry, so the report is
     byte-identical at any job count (which is why the job count is not
-    recorded in it).
+    recorded in it).  The same holds for ``cache``: hits reproduce exactly
+    what the miss path would compute, so the report never mentions the
+    cache — hit/miss statistics accumulate on the cache object instead
+    (worker processes ship their counters back for aggregation).
     """
     score_kwargs = {
         "backend": backend,
@@ -646,15 +825,19 @@ def score_dataset(
             (list(portable[worker::workers]), list(candidate_sets[worker::workers]))
             for worker in range(workers)
         ]
-        payloads = [(shard, sets, score_kwargs) for shard, sets in shards]
+        payloads = [(shard, sets, cache, score_kwargs) for shard, sets in shards]
         with multiprocessing.Pool(processes=workers) as pool:
-            shard_scores = pool.map(_entries_worker, payloads)
+            worker_results = pool.map(_entries_worker, payloads)
         all_scores: List[Optional[List[CandidateScore]]] = [None] * len(entries)
-        for worker, scores_list in enumerate(shard_scores):
+        for worker, (scores_list, stats) in enumerate(worker_results):
+            if cache is not None and stats is not None:
+                cache.absorb(stats)
             for offset, scores in enumerate(scores_list):
                 all_scores[worker + offset * workers] = scores
     else:
-        all_scores = list(_score_entries(entries, candidate_sets, **score_kwargs))
+        all_scores = list(
+            _score_entries_cached(entries, candidate_sets, cache, **score_kwargs)
+        )
 
     functions: List[Dict[str, Any]] = []
     verdict_counts: Dict[str, int] = {}
@@ -845,11 +1028,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", default="eval_report.json", help="where to write the JSON report"
     )
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
     if args.max_stmts < 3:
         parser.error("--max-stmts must be at least 3 (the generator's minimum)")
 
     backend = _resolve_backend(args.backend)
+    cache = cache_from_args(args)
     started = time.time()
     # Scoring never reads the reference assembly grid, so only the ISA/opt
     # the compile gate uses is materialised (the dataset CLI still builds
@@ -860,6 +1045,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_stmts=args.max_stmts,
         isas=("arm",) if backend == "arm" else ("x86",),
         opt_levels=(args.opt_level,),
+        cache=cache,
     )
     candidate_sets = [
         Mutator(
@@ -869,7 +1055,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             # faulting, and -O3 DCE can delete a dead trapping division
             # entirely.  Both substrates get trap-free candidate sets.
             allow_trap_labels=backend != "arm" and args.opt_level == "O0",
-        ).candidates(entry, args.candidates)
+        ).candidates(entry, args.candidates, cache=cache)
         for entry in entries
     ]
     built = time.time()
@@ -888,6 +1074,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         lint=not args.no_lint,
         fork_server=not args.no_fork_server,
         jobs=max(1, args.jobs),
+        cache=cache,
     )
     scored = time.time()
 
@@ -910,6 +1097,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return json.dumps(scrubbed, sort_keys=True)
 
         for use_batch, fork_server in variants:
+            # Reference runs are deliberately cache-free: a memo hit would
+            # replay the main run's verdicts and make the parity check
+            # vacuous.
             reference = score_dataset(
                 entries,
                 candidate_sets,
@@ -962,6 +1152,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     )
     print(f"  throughput: {rate:.1f} candidates/s ({scored - built:.1f}s scoring)")
+    if cache is not None:
+        cache.sweep()
+        print("  cache: " + describe_stats(cache.stats_summary()))
 
     for mismatch in aggregate["mismatches"][:10]:
         print(

@@ -39,6 +39,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional
 
@@ -71,6 +72,19 @@ PRE_FORKSERVER_BASELINE = {
     "note": "PR 6 subprocess batches: harness TU + subprocess per batch leg, "
     "one native build per eval function",
 }
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; CI runners and cgroup-limited
+    containers routinely pin the process to a subset, and that subset is
+    what every scaling number in the report was really measured against.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux hosts
+        return os.cpu_count() or 1
 
 
 def _rate(count: int, seconds: float) -> float:
@@ -259,8 +273,12 @@ def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
     Builds a generated dataset, manufactures labelled candidate sets and
     scores them on the batched native path (interpreter substrate when the
     host has no toolchain).  The agreement number is recorded so a
-    throughput win can never silently buy wrong verdicts.
+    throughput win can never silently buy wrong verdicts.  A cold-vs-warm
+    series against a throwaway :mod:`repro.eval.cache` directory records
+    what the persistent cache buys a repeated run (each point carries the
+    cache's own hit/miss counters).
     """
+    from repro.eval.cache import EvalCache
     from repro.eval.dataset import generated_entries
     from repro.eval.mutate import Mutator
     from repro.eval.score import score_dataset
@@ -289,6 +307,34 @@ def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
     )
     subprocess_seconds = time.perf_counter() - started
 
+    # Cold-vs-warm series: the same scoring run against a fresh cache
+    # directory (paying the stores), then again against the populated one
+    # (every verdict a memo hit).  A throwaway directory so the numbers
+    # never depend on whatever .repro-cache/ the working tree carries.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_cache = EvalCache(tmp)
+        started = time.perf_counter()
+        score_dataset(
+            entries,
+            candidate_sets,
+            backend=backend,
+            use_batch=True,
+            fork_server=True,
+            cache=cold_cache,
+        )
+        cold_seconds = time.perf_counter() - started
+        warm_cache = EvalCache(tmp)
+        started = time.perf_counter()
+        score_dataset(
+            entries,
+            candidate_sets,
+            backend=backend,
+            use_batch=True,
+            fork_server=True,
+            cache=warm_cache,
+        )
+        warm_seconds = time.perf_counter() - started
+
     total = report["aggregate"]["candidates"]
     out = _stage("candidates", total, scoring_seconds)
     subprocess_rate = _rate(total, subprocess_seconds)
@@ -312,6 +358,17 @@ def bench_eval(seed: int, functions: int, candidates: int) -> Dict:
             ),
             "ground_truth_agreement": report["aggregate"]["ground_truth_agreement"],
         }
+    )
+    cache_cold = _stage("candidates", total, cold_seconds)
+    cache_cold["cache"] = cold_cache.stats_summary()
+    cache_warm = _stage("candidates", total, warm_seconds)
+    cache_warm["cache"] = warm_cache.stats_summary()
+    out["cache_cold"] = cache_cold
+    out["cache_warm"] = cache_warm
+    out["speedup_warm_vs_cold"] = round(
+        cache_warm["candidates_per_second"]
+        / max(1e-9, cache_cold["candidates_per_second"]),
+        2,
     )
     return out
 
@@ -373,6 +430,7 @@ def run_benchmarks(
             "platform": platform.platform(),
             "machine": platform.machine(),
             "cpus": os.cpu_count(),
+            "usable_cpus": usable_cpus(),
             "native_toolchain": have_native_toolchain(),
         },
         "stages": {
@@ -572,6 +630,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{eval_stage['ground_truth_agreement']:.0%}; "
         f"{eval_stage['speedup_vs_pre_forkserver']:.1f}x vs pre-fork-server "
         "baseline)"
+    )
+    print(
+        f"  eval cache   cold {eval_stage['cache_cold']['candidates_per_second']:.1f} "
+        f"-> warm {eval_stage['cache_warm']['candidates_per_second']:.1f} candidates/s "
+        f"({eval_stage['speedup_warm_vs_cold']:.1f}x warm speedup)"
     )
     if eval_stage["ground_truth_agreement"] < 1.0:
         print(

@@ -68,6 +68,36 @@ def have_native_toolchain() -> bool:
         and shutil.which("gcc") is not None
     )
 
+
+_toolchain_ids: Dict[str, str] = {}
+
+
+def _toolchain_id(isa: str) -> str:
+    """Compiler identity folded into artifact-cache keys (once per process).
+
+    A compiler upgrade changes the emitted harness ABI/code, so cached
+    binaries keyed under the old identity become unreachable rather than
+    stale.  ``platform.machine()`` rides along because the same cache
+    directory may be shared across differently-architected runners.
+    """
+    cached = _toolchain_ids.get(isa)
+    if cached is not None:
+        return cached
+    if isa == "arm" and platform.machine() != "aarch64":
+        cc = _arm_cross_compiler() or "missing-arm-cc"
+    else:
+        cc = "gcc"
+    try:
+        proc = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        )
+        version = proc.stdout.splitlines()[0] if proc.stdout else cc
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = cc
+    identity = f"{platform.machine()}:{cc}:{version}"
+    _toolchain_ids[isa] = identity
+    return identity
+
 def _arm_cross_compiler() -> Optional[str]:
     for cc in ("aarch64-linux-gnu-gcc", "aarch64-unknown-linux-gnu-gcc"):
         if shutil.which(cc):
@@ -301,6 +331,7 @@ class NativeFunction:
         asm_transform: Optional[Callable[[str], str]] = None,
         run_timeout: float = 10.0,
         context: Optional[CaseContext] = None,
+        cache=None,
     ) -> None:
         self.source = source
         self.name = name
@@ -317,15 +348,26 @@ class NativeFunction:
             assembly = asm_transform(assembly)
         self.globals = _assembly_globals(assembly)
         self._buffers: List[List[Optional[_Buffer]]] = []
+        harness = self._generate_harness()
+        self.binary = workdir / f"{name}_{isa}_{opt_level}"
+        if cache is not None:
+            key = cache.key("binary", isa, "func", _toolchain_id(isa), assembly, harness)
+            if cache.get_file("binary", key, self.binary):
+                if isa == "arm" and platform.machine() != "aarch64":
+                    self._exec_prefix = _arm_emulator() or []
+                else:
+                    self._exec_prefix = []
+                return
         asm_path = workdir / f"{name}_{isa}_{opt_level}.s"
         asm_path.write_text(assembly)
         harness_path = workdir / f"{name}_{isa}_{opt_level}_main.c"
-        harness_path.write_text(self._generate_harness())
-        self.binary = workdir / f"{name}_{isa}_{opt_level}"
+        harness_path.write_text(harness)
         build, self._exec_prefix = _build_command(
             isa, self.binary, [harness_path, asm_path]
         )
         subprocess.run(build, check=True, capture_output=True, timeout=120)
+        if cache is not None:
+            cache.put_file("binary", key, self.binary)
 
     # -- C generation --------------------------------------------------------
 
@@ -804,6 +846,7 @@ class NativeBatch:
         run_timeout: float = 10.0,
         tag: str = "batch",
         fork_server: Optional[bool] = None,
+        cache=None,
     ) -> None:
         self.opt_level = opt_level
         self.isa = isa
@@ -816,6 +859,8 @@ class NativeBatch:
         self._build_proc: Optional[subprocess.Popen] = None
         self._build_error: Optional[Exception] = None
         self._build_cmd: List[str] = []
+        self._cache = cache
+        self._cache_key: Optional[str] = None
 
         asm_parts: List[str] = []
         for index, case in enumerate(cases):
@@ -846,16 +891,39 @@ class NativeBatch:
             _forkserver_supported(entry.context.param_types()) for entry in self.entries
         )
 
-        asm_path = workdir / f"{tag}_{isa}_{opt_level}.s"
-        asm_path.write_text("\n".join(asm_parts))
+        asm_text = "\n".join(asm_parts)
         self.binary = workdir / f"{tag}_{isa}_{opt_level}"
+        # The generated C is produced either way: _generate_table/_generate
+        # _harness also encode the request lines and argument buffers the
+        # execution path needs, and the text is part of the cache key.
+        generated = (
+            self._generate_table() if self.fork_server else self._generate_harness()
+        )
+        if cache is not None:
+            self._cache_key = cache.key(
+                "binary",
+                isa,
+                "fork" if self.fork_server else "harness",
+                _toolchain_id(isa),
+                asm_text,
+                generated,
+            )
+            if cache.get_file("binary", self._cache_key, self.binary):
+                self._cache_key = None  # satisfied: nothing to store later
+                if isa == "arm" and platform.machine() != "aarch64":
+                    self._exec_prefix = _arm_emulator() or []
+                else:
+                    self._exec_prefix = []
+                return
+        asm_path = workdir / f"{tag}_{isa}_{opt_level}.s"
+        asm_path.write_text(asm_text)
         if self.fork_server:
             table_path = workdir / f"{tag}_{isa}_{opt_level}_table.c"
-            table_path.write_text(self._generate_table())
+            table_path.write_text(generated)
             sources = [_forkserver_harness_object(isa), table_path, asm_path]
         else:
             harness_path = workdir / f"{tag}_{isa}_{opt_level}_main.c"
-            harness_path.write_text(self._generate_harness())
+            harness_path.write_text(generated)
             sources = [harness_path, asm_path]
         build, self._exec_prefix = _build_command(isa, self.binary, sources)
         self._build_cmd = build
@@ -885,6 +953,9 @@ class NativeBatch:
                 proc.returncode, self._build_cmd, stdout, stderr
             )
             raise self._build_error
+        if self._cache is not None and self._cache_key is not None:
+            self._cache.put_file("binary", self._cache_key, self.binary)
+            self._cache_key = None
 
     def abandon(self) -> None:
         """Reap a still-running build whose results will never be used."""
@@ -1272,6 +1343,7 @@ class GroupedBatchRunner:
         group_cases: int = DEFAULT_GROUP_CASES,
         tag_prefix: str = "evalg",
         run_timeout: float = 10.0,
+        cache=None,
     ) -> None:
         self.opt_level = opt_level
         self.workdir = workdir
@@ -1280,6 +1352,7 @@ class GroupedBatchRunner:
         self.group_cases = group_cases
         self.tag_prefix = tag_prefix
         self.run_timeout = run_timeout
+        self.cache = cache
 
     def _pack(self, units: Sequence[Sequence[BatchCase]]) -> List[List[int]]:
         """Whole units, packed greedily up to the group cap (a unit larger
@@ -1313,6 +1386,7 @@ class GroupedBatchRunner:
                 run_timeout=self.run_timeout,
                 tag=f"{self.tag_prefix}{group_index}",
                 fork_server=self.fork_server,
+                cache=self.cache,
             )
         except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
             return None
