@@ -43,9 +43,13 @@ __all__: List[str] = [
     "CandidateScore",
     "score_candidates",
     "score_dataset",
+    "score_entry_sets",
+    "build_report",
     "edit_similarity",
     "RepairConfig",
     "repair_campaign",
+    "ScoringService",
+    "ServiceClient",
 ]
 
 
@@ -68,7 +72,12 @@ def __getattr__(name: str):
 
         return getattr(mutate, name)
     if name in (
-        "CandidateScore", "score_candidates", "score_dataset", "edit_similarity"
+        "CandidateScore",
+        "score_candidates",
+        "score_dataset",
+        "score_entry_sets",
+        "build_report",
+        "edit_similarity",
     ):
         from repro.eval import score
 
@@ -77,4 +86,8 @@ def __getattr__(name: str):
         from repro.eval import repair
 
         return getattr(repair, name)
+    if name in ("ScoringService", "ServiceClient"):
+        from repro.eval import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -49,6 +49,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -144,12 +145,19 @@ class EvalCache:
     schema version so corrupted or legacy files are detected on read.
     """
 
+    #: A ``.tmp-*`` file older than this is considered abandoned (its
+    #: writer crashed before publishing) and is reaped by :meth:`sweep` and
+    #: on open.  Generous enough that a live concurrent writer — whose
+    #: publish window is milliseconds — is never raced.
+    STALE_TMP_SECONDS = 3600.0
+
     def __init__(self, root: Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats: Dict[str, Dict[str, int]] = {}
         self.evictions = 0
+        self._reap_stale_tmp()
 
     # -- keys -----------------------------------------------------------------
 
@@ -209,6 +217,13 @@ class EvalCache:
         The temp file lives inside the cache root, so the rename never
         crosses a filesystem boundary; racing writers each publish a
         complete file and the last rename wins with identical bytes.
+
+        The temp file is removed on *every* failure: OSErrors (disk full,
+        permissions) are swallowed — cache writes are best-effort — while
+        anything else (a writer passed a bad payload, KeyboardInterrupt
+        mid-write) cleans up and propagates.  Previously only OSError
+        cleaned up, so any other exception stranded ``.tmp-*`` files in the
+        root forever, invisible to the LRU sweep.
         """
         destination.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
@@ -219,6 +234,29 @@ class EvalCache:
             os.replace(tmp, destination)
         except OSError:
             tmp.unlink(missing_ok=True)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _reap_stale_tmp(self) -> int:
+        """Remove abandoned ``.tmp-*`` files (stranded by a crashed writer
+        of an older code version, or a kill signal no handler could catch).
+        Fresh temp files may belong to a live concurrent writer and are
+        left alone.  Returns the number reaped."""
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        reaped = 0
+        try:
+            candidates = list(self.root.glob(".tmp-*"))
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    reaped += 1
+            except OSError:
+                continue
+        return reaped
 
     def _quarantine(self, layer: str, path: Path) -> None:
         """A damaged entry is removed so it cannot fail a second reader."""
@@ -320,6 +358,7 @@ class EvalCache:
         Returns the number of entries evicted.
         """
         cap = self.max_bytes if max_bytes is None else max_bytes
+        self._reap_stale_tmp()
         entries = sorted(self._entries())
         total = sum(size for _, _, size, _ in entries)
         evicted = 0

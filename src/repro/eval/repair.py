@@ -57,8 +57,8 @@ from repro.eval.mutate import Candidate, Mutator, repair_neighbors
 from repro.eval.score import (
     CandidateScore,
     _resolve_backend,
-    _score_entries_cached,
     score_dataset,
+    score_entry_sets,
 )
 
 #: Verdicts that make a scored candidate a repair target.  ``parse_error``
@@ -269,7 +269,7 @@ def _run_rounds(
     """Advance every active target to completion (or the round limit).
 
     Each round gathers one neighbor chunk per active target and scores all
-    of them through one shared ``_score_entries_cached`` call —
+    of them through one shared ``score_entry_sets`` call —
     cross-function batch groups with compile-while-execute lookahead,
     ``lint=False`` so every gate survivor really executes and carries an
     agreement score, and (with ``cache``) the verdict memo skips the
@@ -300,7 +300,7 @@ def _run_rounds(
             [Candidate(text, "", kind, "") for kind, text, _ in chunk]
             for _, chunk in chunks
         ]
-        all_scores = _score_entries_cached(
+        all_scores = score_entry_sets(
             score_entries,
             candidate_sets,
             cache,

@@ -42,6 +42,7 @@ Typical invocations::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import multiprocessing
 import subprocess
@@ -571,6 +572,7 @@ def _score_entries(
     fork_server: bool = True,
     run_timeout: float = 10.0,
     cache: Optional[EvalCache] = None,
+    workdir: Optional[Path] = None,
 ) -> List[List[CandidateScore]]:
     """One CandidateScore list per entry (the unit one ``--jobs`` worker runs).
 
@@ -581,6 +583,12 @@ def _score_entries(
     group that fails to build or run falls back to the per-entry executor —
     the same code the ungrouped scorer uses — so verdicts and their
     attribution are identical on every path.
+
+    ``workdir``, when given, is reused for build products instead of a
+    per-call temporary directory — the scoring service's workers keep one
+    per worker so repeated requests don't churn tempdirs.  Verdicts never
+    depend on it (artifacts are keyed by tag inside it, and the caller owns
+    cleanup).
     """
     if backend == "none" or not use_batch:
         return [
@@ -590,6 +598,7 @@ def _score_entries(
                 backend=backend,
                 opt_level=opt_level,
                 use_batch=use_batch,
+                workdir=workdir,
                 lint=lint,
                 fork_server=fork_server,
                 run_timeout=run_timeout,
@@ -616,34 +625,41 @@ def _score_entries(
         for entry, (_, survivors) in zip(entries, staged)
     ]
 
-    with tempfile.TemporaryDirectory(prefix="minic-eval-") as tmp:
-        workdir = Path(tmp)
-        runner = native.GroupedBatchRunner(
+    if workdir is not None:
+        tmp_ctx: Any = contextlib.nullcontext(str(workdir))
+    else:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="minic-eval-")
+    with tmp_ctx as tmp:
+        group_workdir = Path(tmp)
+        with native.GroupedBatchRunner(
             opt_level,
-            workdir,
+            group_workdir,
             isa=backend,
             fork_server=fork_server,
             group_cases=EVAL_GROUP_CASES,
             run_timeout=run_timeout,
             cache=cache,
-        )
-        for position, raw in runner.run(units):
-            entry = entries[position]
-            scores, survivors = staged[position]
-            if raw is None:
-                # The whole group failed to build or drain: fall back to
-                # the per-entry executor, which attributes the problem to
-                # the right candidate.
-                observations = _execute_survivors(
-                    entry, survivors, backend, opt_level, True, workdir,
-                    fork_server, run_timeout, cache
-                )
-            else:
-                observations = [
-                    [_native_outcome_to_observation(outcome) for outcome in per_input]
-                    for per_input in raw
-                ]
-            _finalize_scores(entry, scores, survivors, observations)
+        ) as runner:
+            for position, raw in runner.run(units):
+                entry = entries[position]
+                scores, survivors = staged[position]
+                if raw is None:
+                    # The whole group failed to build or drain: fall back to
+                    # the per-entry executor, which attributes the problem to
+                    # the right candidate.
+                    observations = _execute_survivors(
+                        entry, survivors, backend, opt_level, True, group_workdir,
+                        fork_server, run_timeout, cache
+                    )
+                else:
+                    observations = [
+                        [
+                            _native_outcome_to_observation(outcome)
+                            for outcome in per_input
+                        ]
+                        for per_input in raw
+                    ]
+                _finalize_scores(entry, scores, survivors, observations)
 
     return [scores for scores, _ in staged]
 
@@ -681,9 +697,15 @@ def _verdict_key(
     )
 
 
-def _memo_payload(score: CandidateScore) -> Dict[str, Any]:
+def score_to_payload(score: CandidateScore) -> Dict[str, Any]:
     """The candidate-independent slice of a score (caller metadata —
-    index/kind/label/expected — is reapplied per candidate on a hit)."""
+    index/kind/label/expected — is reapplied per candidate on a hit).
+
+    This is both the verdict-memo envelope and the scoring service's wire
+    format for one candidate: every field JSON round-trips exactly, so
+    :func:`score_from_payload` on the other side rebuilds a
+    :class:`CandidateScore` whose ``to_json()`` is byte-identical to the
+    original's."""
     return {
         "verdict": score.verdict,
         "similarity": score.similarity,
@@ -694,7 +716,11 @@ def _memo_payload(score: CandidateScore) -> Dict[str, Any]:
     }
 
 
-def _score_from_memo(payload: Dict[str, Any], index: int, candidate: Candidate):
+def score_from_payload(
+    payload: Dict[str, Any], index: int, candidate: Candidate
+) -> CandidateScore:
+    """Rebuild a :class:`CandidateScore` from :func:`score_to_payload`
+    output plus the caller-side candidate metadata."""
     return CandidateScore(
         index,
         payload["verdict"],
@@ -709,20 +735,26 @@ def _score_from_memo(payload: Dict[str, Any], index: int, candidate: Candidate):
     )
 
 
-def _score_entries_cached(
+def score_entry_sets(
     entries: Sequence[DatasetEntry],
     candidate_sets: Sequence[Sequence[Candidate]],
     cache: Optional[EvalCache] = None,
     **kwargs: Any,
 ) -> List[List[CandidateScore]]:
-    """:func:`_score_entries` behind the verdict memo + in-run dedupe.
+    """Score many (entry, candidate set) pairs: the reusable scoring seam.
 
-    Candidates whose memo key hits (a previous run, round or campaign
-    judged the same text against the same reference) never reach the gate
-    or the harness; candidates that are byte-identical *within* one set
-    execute once and fan the verdict out.  The reduced unique-miss sets go
-    through the untouched :func:`_score_entries` machinery, so a warm
-    report is byte-identical to a cold one by construction.
+    This is :func:`_score_entries` behind the verdict memo + in-run dedupe
+    — the exact unit one ``--jobs`` worker runs, and what the scoring
+    service executes per request.  Candidates whose memo key hits (a
+    previous run, round or campaign judged the same text against the same
+    reference) never reach the gate or the harness; candidates that are
+    byte-identical *within* one set execute once and fan the verdict out.
+    The reduced unique-miss sets go through the untouched
+    :func:`_score_entries` machinery, so a warm report is byte-identical
+    to a cold one by construction.
+
+    ``kwargs`` are :func:`_score_entries`'s: ``backend``, ``opt_level``,
+    ``use_batch``, ``lint``, ``fork_server``, ``run_timeout``, ``workdir``.
     """
     if cache is None:
         return _score_entries(entries, candidate_sets, **kwargs)
@@ -763,17 +795,22 @@ def _score_entries_cached(
         )
         for position, scores in zip(miss_positions, sub_scores):
             for key, score in zip(plans[position][1], scores):
-                payload = _memo_payload(score)
+                payload = score_to_payload(score)
                 cache.put("verdict", key, payload)
                 memo[key] = payload
 
     return [
         [
-            _score_from_memo(memo[key], index, candidate)
+            score_from_payload(memo[key], index, candidate)
             for index, (key, candidate) in enumerate(zip(keys, candidates))
         ]
         for candidates, (keys, _, _) in zip(candidate_sets, plans)
     ]
+
+
+#: Backwards-compatible private alias (the repair search imported the seam
+#: under this name before it went public).
+_score_entries_cached = score_entry_sets
 
 
 def _entries_worker(payload):
@@ -783,7 +820,7 @@ def _entries_worker(payload):
         # summary shipped back is exactly this worker's delta.
         cache.stats = {}
         cache.evictions = 0
-    scores = _score_entries_cached(entries, candidate_sets, cache, **kwargs)
+    scores = score_entry_sets(entries, candidate_sets, cache, **kwargs)
     return scores, (cache.stats_summary() if cache is not None else None)
 
 
@@ -836,9 +873,39 @@ def score_dataset(
                 all_scores[worker + offset * workers] = scores
     else:
         all_scores = list(
-            _score_entries_cached(entries, candidate_sets, cache, **score_kwargs)
+            score_entry_sets(entries, candidate_sets, cache, **score_kwargs)
         )
 
+    return build_report(
+        entries,
+        candidate_sets,
+        all_scores,
+        backend=backend,
+        opt_level=opt_level,
+        use_batch=use_batch,
+        lint=lint,
+        fork_server=fork_server,
+    )
+
+
+def build_report(
+    entries: Sequence[DatasetEntry],
+    candidate_sets: Sequence[Sequence[Candidate]],
+    all_scores: Sequence[Optional[List[CandidateScore]]],
+    backend: str = "x86",
+    opt_level: str = "O0",
+    use_batch: bool = True,
+    lint: bool = True,
+    fork_server: bool = True,
+) -> Dict[str, Any]:
+    """The aggregate JSON report for already-computed per-entry scores.
+
+    Split out of :func:`score_dataset` so any producer of
+    :class:`CandidateScore` lists — the in-process scorer or the HTTP
+    service's grid client reassembling scores from wire payloads — emits
+    the *same* document: same key order, same rounding, byte-identical
+    when serialized the same way.
+    """
     functions: List[Dict[str, Any]] = []
     verdict_counts: Dict[str, int] = {}
     mismatches: List[Dict[str, Any]] = []

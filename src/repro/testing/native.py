@@ -48,10 +48,13 @@ import platform
 import re
 import select
 import shutil
+import signal
 import struct
 import subprocess
 import tempfile
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -762,8 +765,29 @@ def _request_token(value: Any, ptype: ct.CType, buf: Optional[_Buffer]) -> str:
     return f"i{wrapped & 0xFFFFFFFFFFFFFFFF:016x}"
 
 
+#: Every live fork server, so abnormal interpreter exits (unhandled
+#: exception, KeyboardInterrupt unwinding past the batch) still reap the
+#: server process groups instead of leaking them — previously only the
+#: harness *directory* had an atexit hook, never the live children.
+_live_servers: "weakref.WeakSet[_ForkServer]" = weakref.WeakSet()
+
+
+def _kill_live_servers() -> None:
+    for server in list(_live_servers):
+        server.kill()
+
+
+atexit.register(_kill_live_servers)
+
+
 class _ForkServer:
-    """One persistent harness process and its line-oriented pipe protocol."""
+    """One persistent harness process and its line-oriented pipe protocol.
+
+    The process runs in its own session (= its own process group), so
+    :meth:`kill` can take down the server *and* any in-flight forked child
+    (or the qemu-emulated ARM server's children) with one ``killpg`` —
+    a plain ``proc.kill()`` would orphan them.
+    """
 
     def __init__(self, command: Sequence[str]) -> None:
         self.proc = subprocess.Popen(
@@ -772,8 +796,11 @@ class _ForkServer:
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             bufsize=0,
+            start_new_session=True,
         )
         self._buffer = b""
+        self._reaped = False
+        _live_servers.add(self)
 
     def send(self, line: str) -> bool:
         try:
@@ -805,14 +832,45 @@ class _ForkServer:
                 return None
             self._buffer += chunk
 
+    def kill(self) -> None:
+        """SIGKILL the whole server process group and reap the leader.
+
+        The group kill runs even when the server already exited: a child
+        forked for the in-flight pair lives in the same group and must not
+        survive its parent.  A vanished group is not an error.  After one
+        successful group kill + reap the method is a no-op — the pid (and
+        therefore the pgid) may be recycled by then.
+        """
+        if self._reaped:
+            return
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=5)
+            self._reaped = True
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+
     def close(self) -> None:
         try:
             if self.proc.stdin is not None:
                 self.proc.stdin.close()
             self.proc.wait(timeout=5)
         except (OSError, subprocess.TimeoutExpired):
-            self.proc.kill()
-            self.proc.wait()
+            pass
+        finally:
+            self.kill()
+
+    def __del__(self) -> None:
+        try:
+            self.kill()
+        except Exception:
+            pass
 
 
 class NativeBatch:
@@ -861,6 +919,11 @@ class NativeBatch:
         self._build_cmd: List[str] = []
         self._cache = cache
         self._cache_key: Optional[str] = None
+        # Lifecycle state: close() may race an executing thread, so the
+        # live server handle is swapped under a lock.
+        self._server: Optional[_ForkServer] = None
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
 
         asm_parts: List[str] = []
         for index, case in enumerate(cases):
@@ -940,7 +1003,9 @@ class NativeBatch:
         proc = self._build_proc
         self._build_proc = None
         try:
-            stdout, stderr = proc.communicate(timeout=300)
+            stdout, stderr = proc.communicate(
+                timeout=batch_build_timeout(self.run_timeout, len(self._pairs))
+            )
         except subprocess.TimeoutExpired:
             proc.kill()
             stdout, stderr = proc.communicate()
@@ -964,6 +1029,40 @@ class NativeBatch:
             self._build_proc.communicate()
             self._build_proc = None
             self._build_error = BatchExecutionError("batch abandoned")
+
+    def close(self) -> None:
+        """Release every live child process owned by this batch.
+
+        Kills the in-flight fork server's process group (server plus any
+        forked child) and reaps a still-running asynchronous build.  After
+        closing, :meth:`outcome` raises :class:`BatchExecutionError` —
+        results already drained remain readable by whoever holds them.
+        Idempotent, and safe to call from a thread other than the one
+        executing the batch (the service's shutdown path does exactly
+        that).
+        """
+        with self._lifecycle_lock:
+            self._closed = True
+            server, self._server = self._server, None
+        if server is not None:
+            server.kill()
+        self.abandon()
+
+    def __enter__(self) -> "NativeBatch":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Backstop for abnormal unwinds that skip the context manager; the
+        # getattr guards cover objects whose __init__ itself failed.
+        if getattr(self, "_lifecycle_lock", None) is None:
+            return
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- C generation --------------------------------------------------------
 
@@ -1151,6 +1250,8 @@ class NativeBatch:
             raise self._failure
         if self._outcomes is not None:
             return
+        if self._closed:
+            raise BatchExecutionError("batch closed")
         try:
             self.ensure_built()
         except Exception as exc:
@@ -1161,9 +1262,22 @@ class NativeBatch:
         else:
             self._execute_subprocess()
 
+    def _spawn_server(self, command: Sequence[str]) -> _ForkServer:
+        """Start a fork server registered for close(); raises once closed."""
+        with self._lifecycle_lock:
+            if self._closed:
+                raise BatchExecutionError("batch closed")
+            server = _ForkServer(command)
+            self._server = server
+            return server
+
+    def _drop_server(self) -> Optional[_ForkServer]:
+        with self._lifecycle_lock:
+            server, self._server = self._server, None
+            return server
+
     def _execute_forkserver(self) -> None:
         self._outcomes = {}
-        server: Optional[_ForkServer] = None
         command = self._exec_prefix + [
             str(self.binary),
             str(int(self.run_timeout * 1000)),
@@ -1173,14 +1287,19 @@ class NativeBatch:
             retries = 0
             total = len(self._pairs)
             while flat < total:
+                server = self._server
                 if server is None:
-                    server = _ForkServer(command)
+                    server = self._spawn_server(command)
                 code, record = self._request_pair(server, flat)
                 if code is None:
-                    # Server died or hung: restart and retry this pair.
-                    server.proc.kill()
-                    server.close()
-                    server = None
+                    # Server died or hung: restart and retry this pair —
+                    # unless close() is what killed it.
+                    self._drop_server()
+                    server.kill()
+                    if self._closed:
+                        self._outcomes = None
+                        self._failure = BatchExecutionError("batch closed")
+                        raise self._failure
                     retries += 1
                     if retries > self.MAX_PAIR_RETRIES:
                         # A pair that kills the server on every attempt
@@ -1216,8 +1335,9 @@ class NativeBatch:
                 flat += 1
                 retries = 0
         finally:
-            if server is not None:
-                server.close()
+            leftover = self._drop_server()
+            if leftover is not None:
+                leftover.close()
 
     def _request_pair(
         self, server: _ForkServer, flat: int
@@ -1309,6 +1429,18 @@ class NativeBatch:
         return self._outcomes[(case_index, input_index)]
 
 
+def batch_build_timeout(run_timeout: float, pairs: int) -> float:
+    """Deadline for joining one batch's asynchronous toolchain build.
+
+    300s is generous for any healthy compile+link, but a batch whose
+    *execution* budget (``run_timeout`` for one runaway pair plus the
+    per-pair allowance for the rest) legitimately exceeds it must not have
+    its build capped below that budget — a slow-but-healthy large batch
+    would be killed mid-build and misattributed as a toolchain failure.
+    """
+    return max(300.0, run_timeout + NativeBatch.PER_PAIR_ALLOWANCE * pairs)
+
+
 #: Cap on cases per cross-unit native build in :class:`GroupedBatchRunner`.
 #: Units are never split across groups, so a group build/run failure can
 #: fall back to exactly the per-unit execution path.
@@ -1353,6 +1485,8 @@ class GroupedBatchRunner:
         self.tag_prefix = tag_prefix
         self.run_timeout = run_timeout
         self.cache = cache
+        self._current: Optional[NativeBatch] = None
+        self._next: Optional[NativeBatch] = None
 
     def _pack(self, units: Sequence[Sequence[BatchCase]]) -> List[List[int]]:
         """Whole units, packed greedily up to the group cap (a unit larger
@@ -1391,44 +1525,72 @@ class GroupedBatchRunner:
         except (subprocess.CalledProcessError, subprocess.TimeoutExpired, OSError):
             return None
 
+    def close(self) -> None:
+        """Kill/reap the current group's server and the lookahead build.
+
+        Called from the generator's ``finally`` (so an interrupted consumer
+        leaks nothing) and usable directly — the runner is a context
+        manager for callers that keep one alive across requests.
+        """
+        for batch in (self._current, self._next):
+            if batch is not None:
+                batch.close()
+        self._current = self._next = None
+
+    def __enter__(self) -> "GroupedBatchRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     def run(
         self, units: Sequence[Sequence[BatchCase]]
     ) -> Iterator[Tuple[int, Optional[List[List[Tuple[str, Any]]]]]]:
         groups = self._pack(units)
         # One group of lookahead: group N+1 compiles while N executes.
-        next_batch = self._make_batch(units, groups, 0) if groups else None
-        for group_index, unit_indices in enumerate(groups):
-            batch = next_batch
-            next_batch = (
-                self._make_batch(units, groups, group_index + 1)
-                if group_index + 1 < len(groups)
-                else None
-            )
-            results: Dict[int, List[List[Tuple[str, Any]]]] = {}
-            failed = batch is None
-            if batch is not None:
-                try:
-                    cursor = 0
-                    for unit_index in unit_indices:
-                        per_case: List[List[Tuple[str, Any]]] = []
-                        for case in units[unit_index]:
-                            per_case.append(
-                                [
-                                    batch.outcome(cursor, input_index)
-                                    for input_index in range(len(case.inputs))
-                                ]
-                            )
-                            cursor += 1
-                        results[unit_index] = per_case
-                except (
-                    subprocess.CalledProcessError,
-                    subprocess.TimeoutExpired,
-                    BatchExecutionError,
-                    OSError,
-                ):
-                    failed = True
-            for unit_index in unit_indices:
-                yield unit_index, (None if failed else results[unit_index])
+        # Both live batches are tracked on the runner so that close() — or
+        # this generator's own finally, which runs on GeneratorExit when
+        # the consumer breaks out or an interrupt unwinds it — kills their
+        # fork servers and reaps their builds instead of leaking them.
+        self._next = self._make_batch(units, groups, 0) if groups else None
+        try:
+            for group_index, unit_indices in enumerate(groups):
+                self._current, self._next = self._next, (
+                    self._make_batch(units, groups, group_index + 1)
+                    if group_index + 1 < len(groups)
+                    else None
+                )
+                batch = self._current
+                results: Dict[int, List[List[Tuple[str, Any]]]] = {}
+                failed = batch is None
+                if batch is not None:
+                    try:
+                        cursor = 0
+                        for unit_index in unit_indices:
+                            per_case: List[List[Tuple[str, Any]]] = []
+                            for case in units[unit_index]:
+                                per_case.append(
+                                    [
+                                        batch.outcome(cursor, input_index)
+                                        for input_index in range(len(case.inputs))
+                                    ]
+                                )
+                                cursor += 1
+                            results[unit_index] = per_case
+                    except (
+                        subprocess.CalledProcessError,
+                        subprocess.TimeoutExpired,
+                        BatchExecutionError,
+                        OSError,
+                    ):
+                        failed = True
+                for unit_index in unit_indices:
+                    yield unit_index, (None if failed else results[unit_index])
+                if batch is not None:
+                    batch.close()
+                self._current = None
+        finally:
+            self.close()
 
 
 def values_equal(left: Any, right: Any) -> bool:
@@ -1446,6 +1608,7 @@ __all__ = [
     "NativeBatch",
     "NativeFunction",
     "NativeResult",
+    "batch_build_timeout",
     "have_arm_toolchain",
     "have_native_toolchain",
     "values_equal",

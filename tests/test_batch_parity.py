@@ -356,3 +356,149 @@ def test_jobs_records_identical_with_native_legs():
     parallel = run_campaign(config, 13, 16, jobs=2)
     assert _records(sequential) == _records(parallel)
     assert all(r.status == "ok" for r in sequential)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: close() reaps children, build timeouts scale with the batch
+# ---------------------------------------------------------------------------
+
+
+def test_batch_build_timeout_scales_with_pair_budget():
+    """The build join deadline must never cap below the batch's own
+    execution budget (the 300s hard cap was the bug: a 5000-pair batch's
+    legitimate 510s budget was cut to 300s and misread as a build hang)."""
+    from repro.testing.native import batch_build_timeout
+
+    assert batch_build_timeout(10.0, 100) == 300.0  # floor for small batches
+    assert batch_build_timeout(10.0, 5000) == 510.0  # budget wins when larger
+    assert batch_build_timeout(400.0, 0) == 400.0  # one slow pair alone
+
+
+@needs_toolchain
+def test_close_mid_execution_reaps_fork_server_group():
+    """Closing a batch while a pair is wedged in an infinite loop must
+    kill the fork server's whole process group — server and forked child
+    — and subsequent outcome() calls must raise, not hang."""
+    import os
+    import tempfile
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.testing.native import BatchExecutionError
+
+    looping = "int f(int a) {\n    while (a > 0) { a = a + 0; }\n    return a;\n}\n"
+    with tempfile.TemporaryDirectory() as tmp:
+        batch = NativeBatch(
+            [BatchCase(looping, "f", [(1,)])],
+            "O0",
+            Path(tmp),
+            run_timeout=120.0,
+            fork_server=True,
+        )
+        failure = []
+
+        def drive():
+            try:
+                batch.outcome(0, 0)
+            except Exception as exc:
+                failure.append(exc)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        deadline = time.monotonic() + 60.0
+        while batch._server is None and time.monotonic() < deadline:
+            time.sleep(0.02)
+        server = batch._server
+        assert server is not None, "fork server never came up"
+        pgid = server.proc.pid
+        # Collect the whole process group: the server plus its forked child
+        # running the wedged pair (poll: the fork may not have happened yet).
+        group = []
+        while time.monotonic() < deadline and len(group) < 2:
+            group = []
+            for entry in os.listdir("/proc"):
+                if not entry.isdigit():
+                    continue
+                try:
+                    stat = (Path("/proc") / entry / "stat").read_text()
+                    if int(stat.rsplit(")", 1)[1].split()[2]) == pgid:
+                        group.append(int(entry))
+                except (OSError, ValueError, IndexError):
+                    continue
+            time.sleep(0.02)
+        assert pgid in group and len(group) >= 2, group
+
+        batch.close()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "outcome() still blocked after close()"
+        assert failure and isinstance(failure[0], BatchExecutionError)
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in group if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert alive == [], f"orphaned pids survived close(): {alive}"
+
+        with pytest.raises(BatchExecutionError):
+            batch.outcome(0, 0)
+
+
+def _pid_alive(pid: int) -> bool:
+    import os
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    # Kernel may keep a zombie until the parent reaps; a zombie holds no
+    # resources and os.waitpid already ran in kill(), so treat Z as dead.
+    try:
+        stat = open(f"/proc/{pid}/stat").read()
+        return stat.rsplit(")", 1)[1].split()[0] != "Z"
+    except (OSError, IndexError):
+        return False
+
+
+@needs_toolchain
+def test_grouped_runner_context_manager_closes_batches():
+    """Abandoning a GroupedBatchRunner mid-iteration (the generator is
+    dropped, GeneratorExit fires) must close both in-flight batches."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.testing.native import GroupedBatchRunner
+
+    units = [
+        [BatchCase(f"int f{i}(int a) {{ return a + {i}; }}", f"f{i}", [(1,)])]
+        for i in range(4)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        with GroupedBatchRunner("O0", Path(tmp), group_cases=1) as runner:
+            iterator = runner.run(units)
+            next(iterator)
+            assert runner._current is not None
+            iterator.close()  # GeneratorExit -> finally -> close()
+            assert runner._current is None and runner._next is None
+
+
+@needs_toolchain
+def test_closed_batch_refuses_new_execution():
+    import tempfile
+    from pathlib import Path
+
+    from repro.testing.native import BatchExecutionError
+
+    with tempfile.TemporaryDirectory() as tmp:
+        batch = NativeBatch(
+            [BatchCase("int f(int a) { return a; }", "f", [(1,)])],
+            "O0",
+            Path(tmp),
+        )
+        batch.close()
+        with pytest.raises(BatchExecutionError):
+            batch.outcome(0, 0)

@@ -10,6 +10,7 @@ and the LRU sweep evicts deterministically under a size cap.
 import json
 import multiprocessing
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -377,3 +378,72 @@ def test_warm_dataset_build_skips_generation(tmp_path):
     assert summary["layers"]["entry"]["misses"] == 0
     assert summary["layers"]["candidates"]["misses"] == 0
     assert summary["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Temp-file hygiene (the _publish cleanup + stale-reap bugfix)
+# ---------------------------------------------------------------------------
+
+
+def _tmp_files(cache: EvalCache):
+    return sorted(cache.root.glob(".tmp-*"))
+
+
+def test_publish_cleans_tmp_on_writer_exception(tmp_path):
+    """A writer failing with anything (not just OSError) must not strand
+    its temp file; the exception itself still propagates."""
+    cache = EvalCache(tmp_path / "cache")
+
+    def bad_writer(tmp):
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        cache._publish(bad_writer, cache.root / "layer" / "ab" / "abcd.json")
+    assert _tmp_files(cache) == []
+
+
+def test_publish_swallows_oserror_but_cleans_tmp(tmp_path):
+    """Best-effort semantics for environmental failures: the write is
+    dropped silently, and the temp file is dropped with it."""
+    cache = EvalCache(tmp_path / "cache")
+
+    def disk_full(tmp):
+        raise OSError("no space left on device")
+
+    cache._publish(disk_full, cache.root / "layer" / "ab" / "abcd.json")
+    assert _tmp_files(cache) == []
+
+
+def test_publish_interrupt_cleans_tmp(tmp_path):
+    """KeyboardInterrupt mid-write (the report's original repro) cleans up
+    and propagates — it is not swallowed like an OSError."""
+    cache = EvalCache(tmp_path / "cache")
+
+    def interrupted(tmp):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        cache._publish(interrupted, cache.root / "layer" / "ab" / "abcd.json")
+    assert _tmp_files(cache) == []
+
+
+def test_stale_tmp_reaped_on_init_and_sweep(tmp_path):
+    """Temp files stranded by an older code version (or SIGKILL) are
+    reaped by cache open and by sweep(); fresh ones — possibly a live
+    concurrent writer's — are left alone."""
+    root = tmp_path / "cache"
+    cache = EvalCache(root)
+    stale = root / ".tmp-stale"
+    fresh = root / ".tmp-fresh"
+    stale.write_bytes(b"dead")
+    fresh.write_bytes(b"alive")
+    old = time.time() - 2 * EvalCache.STALE_TMP_SECONDS
+    os.utime(stale, (old, old))
+
+    reopened = EvalCache(root)
+    assert not stale.exists()
+    assert fresh.exists()
+
+    os.utime(fresh, (old, old))
+    reopened.sweep()
+    assert not fresh.exists()
